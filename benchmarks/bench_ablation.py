@@ -1,0 +1,23 @@
+"""Ablation - the contribution of each Salus optimization.
+
+Not a paper figure, but the design-choice decomposition DESIGN.md Section 5
+calls for: unified addressing alone, then full Salus minus each of
+fetch-on-access, collapsed counters, and fine dirty tracking, against the
+conventional baseline and full Salus.
+"""
+
+from repro.harness.experiments import run_ablation
+
+
+def test_ablation_of_salus_optimizations(benchmark, config, accesses, workloads):
+    result = benchmark.pedantic(
+        run_ablation,
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_text())
+    # Full Salus must beat the conventional baseline...
+    assert result.summary["ipc_norm[salus]"] > result.summary["ipc_norm[baseline]"]
+    # ...and unified addressing alone already recovers part of the gap.
+    assert result.summary["ipc_norm[salus-unified]"] > result.summary["ipc_norm[baseline]"]

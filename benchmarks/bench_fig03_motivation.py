@@ -1,0 +1,19 @@
+"""Figure 3 - motivation: the cost of location-tied security under migration.
+
+Paper: conventional security with dynamic page migration runs 2.04x slower
+(geomean) than the same security with free migration operations.
+"""
+
+from repro.harness.experiments import run_fig03_motivation
+
+
+def test_fig03_motivation(benchmark, config, accesses, workloads):
+    result = benchmark.pedantic(
+        run_fig03_motivation,
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_text())
+    print("paper reference: geomean slowdown 2.04x")
+    assert result.summary["geomean_slowdown"] > 1.0

@@ -1,0 +1,20 @@
+"""Figure 11 - security traffic under Salus, normalized to the baseline.
+
+Paper: Salus reduces security traffic by 52.03% on average (i.e. to ~0.48x
+of the conventional design; abstract: overhead as low as 17.71%), with the
+sparse-coverage benchmarks reducing the most.
+"""
+
+from repro.harness.experiments import run_fig11_traffic
+
+
+def test_fig11_security_traffic(benchmark, config, accesses, workloads):
+    result = benchmark.pedantic(
+        run_fig11_traffic,
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_text())
+    print("paper reference: mean normalized traffic ~0.48, minimum ~0.18")
+    assert result.summary["mean_normalized_traffic"] < 1.0

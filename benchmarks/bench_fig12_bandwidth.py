@@ -1,0 +1,23 @@
+"""Figure 12 - security share of each memory's bandwidth, Salus vs baseline.
+
+Paper: Salus uses 14.92% less of the CXL bandwidth and 2.05% less of the
+GPU device-memory bandwidth for security than the conventional design.
+"""
+
+from repro.harness.experiments import run_fig12_bandwidth
+
+
+def test_fig12_bandwidth_utilization(benchmark, config, accesses, workloads, full_scale):
+    result = benchmark.pedantic(
+        run_fig12_bandwidth,
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_text())
+    print(
+        "paper reference: CXL security-bandwidth usage -14.92%, "
+        "device -2.05% (Salus vs conventional)"
+    )
+    if full_scale:
+        assert result.summary["mean_cxl_usage_reduction"] > 0.0

@@ -1,0 +1,24 @@
+"""Figure 14 - sensitivity to the device-capacity / footprint ratio.
+
+Paper improvements over the conventional model: +51.64% when only 20% of the
+footprint fits in device memory, +34.48% at 35%, +26.83% at 50% - the less
+that fits, the more migration, the bigger the Salus win.
+"""
+
+from repro.harness.experiments import run_fig14_footprint
+
+
+def test_fig14_footprint_sensitivity(benchmark, config, accesses, workloads, full_scale):
+    result = benchmark.pedantic(
+        run_fig14_footprint,
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_text())
+    print("paper reference: +51.64% (20%), +34.48% (35%), +26.83% (50%)")
+    improvements = [row[3] for row in result.rows]
+    assert all(i > 1.0 for i in improvements)
+    if full_scale:
+        # Monotone: tighter capacity -> bigger win.
+        assert improvements[0] >= improvements[-1]

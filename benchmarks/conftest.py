@@ -1,0 +1,67 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each ``bench_figXX_*.py`` regenerates one table/figure of the paper's
+evaluation (see DESIGN.md Section 4 for the index and EXPERIMENTS.md for the
+paper-vs-measured record). The simulations are deterministic, so every
+benchmark runs exactly once (``pedantic`` with one round) - the
+pytest-benchmark timing then reports the cost of regenerating the figure,
+and the figure's rows are printed to the terminal.
+
+Environment knobs:
+
+* ``REPRO_BENCH_ACCESSES`` - trace length per benchmark (default 60000;
+  lower it for a quick pass, e.g. 10000).
+* ``REPRO_BENCH_WORKLOADS`` - comma-separated subset of benchmark names
+  (default: the full 12-benchmark suite).
+"""
+
+import os
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.experiments import clear_cache
+from repro.workloads.suite import benchmark_names
+
+DEFAULT_ACCESSES = 60_000
+
+
+def bench_accesses() -> int:
+    return int(os.environ.get("REPRO_BENCH_ACCESSES", DEFAULT_ACCESSES))
+
+
+def bench_workloads():
+    names = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if not names:
+        return benchmark_names()
+    return tuple(n.strip() for n in names.split(",") if n.strip())
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    return SystemConfig.bench()
+
+
+@pytest.fixture(scope="session")
+def accesses() -> int:
+    return bench_accesses()
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return bench_workloads()
+
+
+@pytest.fixture(scope="session")
+def full_scale(accesses, workloads):
+    """Shape assertions (who wins, where crossovers fall) only hold with
+    enough migration churn; a quick REPRO_BENCH_ACCESSES pass skips them."""
+    return accesses >= 30_000 and len(workloads) >= 8
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_run_cache():
+    """Figures 10-12 share the same simulations via the harness run cache;
+    keep it alive for the whole benchmark session."""
+    yield
+    clear_cache()

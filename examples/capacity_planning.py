@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Capacity planning: how Salus's advantage moves with the hardware budget.
+
+An operator sizing a CXL-expanded GPU fleet has two dials: how much HBM to
+buy relative to the working set (the device-capacity ratio of Figure 14) and
+how much CXL bandwidth to provision (the ratio of Figure 13). This example
+sweeps both for one workload and prints the Salus-vs-baseline picture at
+each point, reproducing the paper's sensitivity trends at example scale.
+
+Usage::
+
+    python examples/capacity_planning.py [benchmark] [n_accesses]
+"""
+
+import sys
+
+from repro import SystemConfig, build_trace, run_model
+from repro.harness.report import format_table
+
+
+def sweep_point(config, benchmark, n_accesses):
+    trace = build_trace(benchmark, n_accesses=n_accesses, num_sms=config.gpu.num_sms)
+    nosec = run_model(config, trace, "nosec")
+    baseline = run_model(config, trace, "baseline")
+    salus = run_model(config, trace, "salus")
+    return (
+        baseline.ipc / nosec.ipc,
+        salus.ipc / nosec.ipc,
+        salus.ipc / baseline.ipc - 1,
+    )
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 15_000
+    base = SystemConfig.bench()
+
+    rows = []
+    for ratio in (0.20, 0.35, 0.50):
+        config = base.with_capacity_ratio(ratio)
+        b, s, improvement = sweep_point(config, benchmark, n_accesses)
+        rows.append((f"{ratio:.0%}", b, s, f"{improvement:+.1%}"))
+    print(
+        format_table(
+            ("device capacity", "baseline", "salus", "salus gain"),
+            rows,
+            title=f"Figure-14 sweep - HBM capacity vs footprint ({benchmark})",
+        )
+    )
+    print(
+        "\nLess resident capacity -> more migration -> a bigger Salus win;"
+        "\nbuying Salus is worth more than buying HBM at the margin.\n"
+    )
+
+    rows = []
+    for bw_ratio in (1 / 32, 1 / 16, 1 / 8, 1 / 4):
+        config = base.with_cxl_bw_ratio(bw_ratio)
+        b, s, improvement = sweep_point(config, benchmark, n_accesses)
+        rows.append((f"1/{round(1 / bw_ratio)}", b, s, f"{improvement:+.1%}"))
+    print(
+        format_table(
+            ("cxl bandwidth", "baseline", "salus", "salus gain"),
+            rows,
+            title=f"Figure-13 sweep - CXL link bandwidth ({benchmark})",
+        )
+    )
+    print(
+        "\nThe advantage persists across link speeds and only compresses"
+        "\nonce the link is fast enough that migration stops dominating.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The security argument, executed: real AES, real MACs, real Merkle trees.
+
+This example drives the *functional* security system (byte-accurate, actual
+cryptography) through the scenarios the paper's design must survive:
+
+1. data round-trips through heavy page-migration churn;
+2. Salus migrates ciphertext verbatim - zero re-encryptions - while the
+   conventional baseline re-encrypts every sector it moves;
+3. a physical attacker who flips ciphertext bits is caught by the MACs;
+4. a replay attacker who restores a complete, self-consistent stale snapshot
+   (data + MACs + counters + Merkle leaf) is caught by the on-chip root.
+
+Usage::
+
+    python examples/confidential_migration.py
+"""
+
+import random
+
+from repro.errors import IntegrityError, SecurityError
+from repro.security.functional import FunctionalSecureSystem
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(1, 60 - len(text)))
+
+
+def demo_roundtrip_and_reencryption() -> None:
+    banner("1+2. Migration churn: round-trip and re-encryption counts")
+    for mode in ("salus", "baseline"):
+        system = FunctionalSecureSystem(footprint_pages=16, frames=4, mode=mode)
+        rng = random.Random(2024)
+        expected = {}
+        for _ in range(500):
+            addr = rng.randrange(16 * 128) * 32
+            value = bytes(rng.randrange(256) for _ in range(32))
+            system.write(addr, value)
+            expected[addr] = value
+        ok = all(system.read(a) == v for a, v in expected.items())
+        stats = system.stats
+        print(
+            f"  {mode:9s} round-trip={'OK' if ok else 'FAIL'}  "
+            f"fills={stats.fills}  evictions={stats.evictions}  "
+            f"migration re-encrypted sectors={stats.migration_reencrypted_sectors}"
+        )
+    print("  -> Salus: 0 re-encryptions. Ciphertext is location-independent")
+    print("     because the IV uses the permanent CXL address (Section IV-A).")
+
+
+def demo_verbatim_ciphertext() -> None:
+    banner("Ciphertext moves verbatim under Salus")
+    system = FunctionalSecureSystem(footprint_pages=4, frames=1, mode="salus")
+    system.write(0, b"confidential-model-weights-0001!")
+    system.write(4096, b"x" * 32)  # pushes page 0 out to the CXL expander
+    in_cxl = system.cxl_data.read(0)
+    assert system.read(0) == b"confidential-model-weights-0001!"
+    frame = system.page_cache.frame_of(0)
+    in_device = system.device_data.read(frame * 128)
+    print(f"  CXL image   : {in_cxl.hex()[:32]}...")
+    print(f"  device image: {in_device.hex()[:32]}...")
+    print(f"  identical   : {in_cxl == in_device}")
+
+
+def demo_tamper_detection() -> None:
+    banner("3. Physical tampering is detected")
+    system = FunctionalSecureSystem(footprint_pages=4, frames=2, mode="salus")
+    system.write(0, b"A" * 32)
+    system.tamper_device_sector(0, b"B" * 32)
+    try:
+        system.read(0)
+        print("  !! tampering was NOT detected - this is a bug")
+    except IntegrityError as exc:
+        print(f"  caught IntegrityError: {exc}")
+
+
+def demo_replay_detection() -> None:
+    banner("4. Replaying a stale (but self-consistent) snapshot is detected")
+    system = FunctionalSecureSystem(footprint_pages=4, frames=1, mode="salus")
+    system.write(0, b"balance=100" + b"\x00" * 21)
+    system.write(4096, b"x" * 32)              # page 0 evicted at epoch 1
+    snapshot = system.snapshot_chunk(0)        # attacker records everything
+    system.write(0, b"balance=0  " + b"\x00" * 21)
+    system.write(4096, b"y" * 32)              # evicted again at epoch 2
+    system.replay_chunk(snapshot)              # attacker restores epoch-1 state
+    try:
+        value = system.read(0)
+        print(f"  !! replay NOT detected - read back {value[:11]!r}")
+    except SecurityError as exc:
+        print(f"  caught {type(exc).__name__}: {exc}")
+
+
+def main() -> None:
+    demo_roundtrip_and_reencryption()
+    demo_verbatim_ciphertext()
+    demo_tamper_detection()
+    demo_replay_detection()
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: compare security models on one benchmark.
+
+Runs the `nw` workload (the paper's biggest winner) through the three
+security personalities - no security, the conventional baseline, and Salus -
+on the laptop-scale evaluation machine, then prints normalized IPC and
+security traffic.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [n_accesses]
+"""
+
+import sys
+
+from repro import SystemConfig, build_trace, run_model
+from repro.harness.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "nw"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    config = SystemConfig.bench()
+    trace = build_trace(benchmark, n_accesses=n_accesses, num_sms=config.gpu.num_sms)
+    print(
+        f"workload={benchmark}: {len(trace)} accesses over "
+        f"{trace.footprint_pages} pages "
+        f"({trace.write_fraction:.0%} writes, "
+        f"compute/mem={trace.compute_per_mem})"
+    )
+    print(
+        f"device page cache: {int(trace.footprint_pages * config.device_capacity_ratio)} "
+        f"frames ({config.device_capacity_ratio:.0%} of footprint), "
+        f"CXL at 1/{round(1 / config.gpu.cxl_bw_ratio)} of device bandwidth\n"
+    )
+
+    results = {m: run_model(config, trace, m) for m in ("nosec", "baseline", "salus")}
+    nosec_ipc = results["nosec"].ipc
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            (
+                name,
+                result.ipc / nosec_ipc,
+                result.fills,
+                result.evictions,
+                result.stats.security_bytes() / 1e6,
+                result.counters["cxl_utilization"],
+            )
+        )
+    print(
+        format_table(
+            ("model", "ipc_norm", "fills", "evicts", "security_MB", "cxl_util"),
+            rows,
+            title="Security model comparison",
+        )
+    )
+    improvement = results["salus"].ipc / results["baseline"].ipc - 1
+    print(f"\nSalus improves IPC over the conventional baseline by {improvement:+.1%}")
+    traffic_ratio = results["salus"].stats.security_bytes() / max(
+        1, results["baseline"].stats.security_bytes()
+    )
+    print(f"Salus security traffic is {traffic_ratio:.0%} of the baseline's")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Traffic anatomy: where every security byte goes, per design variant.
+
+Dissects the memory traffic of one workload under the conventional baseline,
+full Salus, and each Salus ablation - the per-category, per-memory-side
+breakdown behind Figures 11 and 12, plus the contribution of each individual
+optimization (DESIGN.md Section 5).
+
+Usage::
+
+    python examples/traffic_anatomy.py [benchmark] [n_accesses]
+"""
+
+import sys
+
+from repro import SystemConfig, build_trace, run_model
+from repro.harness.report import format_table
+from repro.sim.stats import Side, TrafficCategory
+
+VARIANTS = (
+    ("baseline", "conventional (location-tied metadata)"),
+    ("salus-unified", "unified addressing only"),
+    ("salus-nofoa", "Salus minus fetch-on-access"),
+    ("salus-nocollapse", "Salus minus collapsed counters"),
+    ("salus-coarsedirty", "Salus minus fine dirty tracking"),
+    ("salus", "full Salus"),
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "nw"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 15_000
+    config = SystemConfig.bench()
+    trace = build_trace(benchmark, n_accesses=n_accesses, num_sms=config.gpu.num_sms)
+    print(
+        f"workload={benchmark}, {len(trace)} accesses, "
+        f"{trace.footprint_pages} pages footprint\n"
+    )
+
+    rows = []
+    baseline_security = None
+    for model, description in VARIANTS:
+        result = run_model(config, trace, model)
+        stats = result.stats
+
+        def mb(side, category):
+            return stats.bytes_for(side, category) / 1e6
+
+        security = stats.security_bytes() / 1e6
+        if model == "baseline":
+            baseline_security = security
+        rows.append(
+            (
+                model,
+                mb(Side.CXL, TrafficCategory.COUNTER)
+                + mb(Side.DEVICE, TrafficCategory.COUNTER),
+                mb(Side.CXL, TrafficCategory.MAC)
+                + mb(Side.DEVICE, TrafficCategory.MAC),
+                mb(Side.CXL, TrafficCategory.BMT)
+                + mb(Side.DEVICE, TrafficCategory.BMT),
+                mb(Side.CXL, TrafficCategory.REENC_DATA)
+                + mb(Side.DEVICE, TrafficCategory.REENC_DATA),
+                security,
+                security / baseline_security,
+            )
+        )
+    print(
+        format_table(
+            (
+                "variant", "counter_MB", "mac_MB", "bmt_MB",
+                "reencrypt_MB", "security_MB", "vs_baseline",
+            ),
+            rows,
+            title="Security traffic anatomy (both memory sides)",
+        )
+    )
+    print(
+        "\nReading the table: collapsed counters erase dedicated counter"
+        "\ntransfers, fetch-on-access prunes MAC movement for untouched"
+        "\nchunks, unified addressing eliminates re-encryption data, and the"
+        "\ncompact CXL tree shrinks BMT bytes.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

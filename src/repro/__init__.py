@@ -1,0 +1,76 @@
+"""Salus: efficient security support for CXL-expanded GPU memory.
+
+A full reproduction of the HPCA 2024 paper by Abdullah, Lee, Zhou and Awad:
+a trace-driven GPU memory-system simulator with dynamic page migration
+between CXL expansion memory and GPU device memory, three security models
+(none / conventional baseline / Salus), a byte-accurate functional security
+layer, the paper's benchmark suite as synthetic workloads, and a harness
+that regenerates every evaluation figure.
+
+Quickstart::
+
+    from repro import SystemConfig, build_trace, run_model
+
+    config = SystemConfig.bench()
+    trace = build_trace("nw", n_accesses=10_000)
+    salus = run_model(config, trace, "salus")
+    baseline = run_model(config, trace, "baseline")
+    print(f"Salus speedup: {salus.ipc / baseline.ipc:.2f}x")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from .address import DEFAULT_GEOMETRY, Geometry
+from .config import GPUConfig, SalusConfig, SecurityConfig, SystemConfig
+from .errors import (
+    AddressError,
+    ConfigError,
+    CounterOverflowError,
+    FreshnessError,
+    IntegrityError,
+    ReproError,
+    SecurityError,
+    SimulationError,
+    TraceError,
+)
+from .gpu.gpusim import GpuSim, RunResult
+from .harness.runner import MODEL_NAMES, run_benchmark, run_model
+from .sim.stats import Side, StatRegistry, TrafficCategory
+from .workloads.suite import BENCHMARKS, benchmark_names, build_trace
+from .workloads.generators import WorkloadSpec, generate_trace
+from .workloads.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "BENCHMARKS",
+    "ConfigError",
+    "CounterOverflowError",
+    "DEFAULT_GEOMETRY",
+    "FreshnessError",
+    "GPUConfig",
+    "Geometry",
+    "GpuSim",
+    "IntegrityError",
+    "MODEL_NAMES",
+    "ReproError",
+    "RunResult",
+    "SalusConfig",
+    "SecurityConfig",
+    "SecurityError",
+    "Side",
+    "SimulationError",
+    "StatRegistry",
+    "SystemConfig",
+    "Trace",
+    "TraceError",
+    "TrafficCategory",
+    "WorkloadSpec",
+    "benchmark_names",
+    "build_trace",
+    "generate_trace",
+    "run_benchmark",
+    "run_model",
+]

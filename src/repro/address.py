@@ -1,0 +1,197 @@
+"""Address geometry shared by every layer of the reproduction.
+
+The Salus paper fixes four granularities (Section II-D and IV-A1):
+
+* **sector** - 32 B, the memory-access and security granularity. Encryption
+  counters, MACs and DRAM bursts all operate on sectors.
+* **block** - 128 B, the cache-line granularity of the sectored L1/L2 caches
+  (4 sectors per block). A MAC sector holds the MACs of one data block.
+* **chunk** - 256 B, the fine-grained channel-interleaving granularity
+  (2 blocks, 8 sectors). Salus groups one major counter per chunk.
+* **page** - 4096 B by default, the migration granularity between the CXL
+  expansion memory and the GPU device memory (16 chunks).
+
+Two distinct address spaces exist:
+
+* the **CXL (home) address space**, which is permanent: page tables and all
+  Salus security computations use it; and
+* the **device address space**, which names frames of the GPU device memory
+  used as a page cache. Data moves between frames, so device addresses are
+  transient.
+
+This module provides the pure arithmetic for both; it has no simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import AddressError
+
+SECTOR_BYTES = 32
+BLOCK_BYTES = 128
+CHUNK_BYTES = 256
+DEFAULT_PAGE_BYTES = 4096
+
+SECTORS_PER_BLOCK = BLOCK_BYTES // SECTOR_BYTES
+SECTORS_PER_CHUNK = CHUNK_BYTES // SECTOR_BYTES
+BLOCKS_PER_CHUNK = CHUNK_BYTES // BLOCK_BYTES
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Fixed carving of an address space into pages/chunks/blocks/sectors.
+
+    Instances are immutable and cheap; every component that needs address
+    arithmetic receives one Geometry rather than loose constants, so a whole
+    simulation is guaranteed to agree on granularities.
+    """
+
+    page_bytes: int = DEFAULT_PAGE_BYTES
+    chunk_bytes: int = CHUNK_BYTES
+    block_bytes: int = BLOCK_BYTES
+    sector_bytes: int = SECTOR_BYTES
+
+    def __post_init__(self) -> None:
+        ordered = (self.sector_bytes, self.block_bytes, self.chunk_bytes, self.page_bytes)
+        names = ("sector_bytes", "block_bytes", "chunk_bytes", "page_bytes")
+        for name, value in zip(names, ordered):
+            if not is_power_of_two(value):
+                raise AddressError(f"{name}={value} must be a power of two")
+        if not (self.sector_bytes <= self.block_bytes <= self.chunk_bytes <= self.page_bytes):
+            raise AddressError(
+                "granularities must nest: sector <= block <= chunk <= page, got "
+                f"{ordered}"
+            )
+
+    # -- derived ratios ----------------------------------------------------
+    @property
+    def sectors_per_block(self) -> int:
+        """Sectors in one cache block (4)."""
+        return self.block_bytes // self.sector_bytes
+
+    @property
+    def sectors_per_chunk(self) -> int:
+        """Sectors in one interleaving chunk (8)."""
+        return self.chunk_bytes // self.sector_bytes
+
+    @property
+    def sectors_per_page(self) -> int:
+        """Sectors in one migration page (128 by default)."""
+        return self.page_bytes // self.sector_bytes
+
+    @property
+    def blocks_per_chunk(self) -> int:
+        """Cache blocks in one interleaving chunk (2)."""
+        return self.chunk_bytes // self.block_bytes
+
+    @property
+    def blocks_per_page(self) -> int:
+        """Cache blocks in one page (32 by default)."""
+        return self.page_bytes // self.block_bytes
+
+    @property
+    def chunks_per_page(self) -> int:
+        """Interleaving chunks in one page (16 by default)."""
+        return self.page_bytes // self.chunk_bytes
+
+    # -- index extraction --------------------------------------------------
+    def page_of(self, addr: int) -> int:
+        """Page number containing byte address ``addr``."""
+        self._check_addr(addr)
+        return addr // self.page_bytes
+
+    def chunk_of(self, addr: int) -> int:
+        """Global chunk number containing byte address ``addr``."""
+        self._check_addr(addr)
+        return addr // self.chunk_bytes
+
+    def block_of(self, addr: int) -> int:
+        """Global block number containing byte address ``addr``."""
+        self._check_addr(addr)
+        return addr // self.block_bytes
+
+    def sector_of(self, addr: int) -> int:
+        """Global sector number containing byte address ``addr``."""
+        self._check_addr(addr)
+        return addr // self.sector_bytes
+
+    def chunk_in_page(self, addr: int) -> int:
+        """Index (0-based) of the chunk inside its page."""
+        return (addr % self.page_bytes) // self.chunk_bytes
+
+    def block_in_chunk(self, addr: int) -> int:
+        """Index (0-based) of the block inside its chunk."""
+        return (addr % self.chunk_bytes) // self.block_bytes
+
+    def sector_in_chunk(self, addr: int) -> int:
+        """Index (0-based) of the sector inside its chunk."""
+        return (addr % self.chunk_bytes) // self.sector_bytes
+
+    def sector_in_block(self, addr: int) -> int:
+        """Index (0-based) of the sector inside its block."""
+        return (addr % self.block_bytes) // self.sector_bytes
+
+    def sector_in_page(self, addr: int) -> int:
+        """Index (0-based) of the sector inside its page."""
+        return (addr % self.page_bytes) // self.sector_bytes
+
+    # -- address construction ----------------------------------------------
+    def page_base(self, page: int) -> int:
+        """Byte address where ``page`` starts."""
+        return page * self.page_bytes
+
+    def chunk_base(self, chunk: int) -> int:
+        """Byte address where global chunk ``chunk`` starts."""
+        return chunk * self.chunk_bytes
+
+    def sector_base(self, sector: int) -> int:
+        """Byte address where global sector ``sector`` starts."""
+        return sector * self.sector_bytes
+
+    def sector_addr(self, page: int, sector_in_page: int) -> int:
+        """Byte address of the ``sector_in_page``-th sector of ``page``."""
+        if not 0 <= sector_in_page < self.sectors_per_page:
+            raise AddressError(
+                f"sector_in_page={sector_in_page} outside page of "
+                f"{self.sectors_per_page} sectors"
+            )
+        return page * self.page_bytes + sector_in_page * self.sector_bytes
+
+    def chunk_addr(self, page: int, chunk_in_page: int) -> int:
+        """Byte address of the ``chunk_in_page``-th chunk of ``page``."""
+        if not 0 <= chunk_in_page < self.chunks_per_page:
+            raise AddressError(
+                f"chunk_in_page={chunk_in_page} outside page of "
+                f"{self.chunks_per_page} chunks"
+            )
+        return page * self.page_bytes + chunk_in_page * self.chunk_bytes
+
+    # -- alignment ----------------------------------------------------------
+    def align_sector(self, addr: int) -> int:
+        """Round ``addr`` down to its sector base."""
+        self._check_addr(addr)
+        return addr & ~(self.sector_bytes - 1)
+
+    def align_chunk(self, addr: int) -> int:
+        """Round ``addr`` down to its chunk base."""
+        self._check_addr(addr)
+        return addr & ~(self.chunk_bytes - 1)
+
+    def align_page(self, addr: int) -> int:
+        """Round ``addr`` down to its page base."""
+        self._check_addr(addr)
+        return addr & ~(self.page_bytes - 1)
+
+    @staticmethod
+    def _check_addr(addr: int) -> None:
+        if addr < 0:
+            raise AddressError(f"negative address {addr:#x}")
+
+
+DEFAULT_GEOMETRY = Geometry()

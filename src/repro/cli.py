@@ -1,0 +1,216 @@
+"""Command-line interface: run simulations and regenerate paper figures.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro run nw --models nosec baseline salus
+    python -m repro figure fig10 --accesses 20000
+    python -m repro figure all --benchmarks nw btree sgemm
+    python -m repro list
+
+Every command accepts ``--accesses`` (trace length), ``--seed``, and the
+Figure-13/14 knobs ``--cxl-bw-ratio`` / ``--capacity-ratio``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import SystemConfig
+from .harness.experiments import (
+    run_ablation,
+    run_fig03_motivation,
+    run_fig10_ipc,
+    run_fig11_traffic,
+    run_fig12_bandwidth,
+    run_fig13_cxl_bw,
+    run_fig14_footprint,
+)
+from .harness.report import format_table
+from .harness.runner import MODEL_NAMES, run_model
+from .workloads.suite import BENCHMARKS, benchmark_names, build_trace
+
+FIGURES = {
+    "fig03": run_fig03_motivation,
+    "fig10": run_fig10_ipc,
+    "fig11": run_fig11_traffic,
+    "fig12": run_fig12_bandwidth,
+    "fig13": run_fig13_cxl_bw,
+    "fig14": run_fig14_footprint,
+    "ablation": run_ablation,
+}
+
+
+def _build_config(args: argparse.Namespace) -> SystemConfig:
+    config = SystemConfig.bench()
+    if args.cxl_bw_ratio is not None:
+        config = config.with_cxl_bw_ratio(args.cxl_bw_ratio)
+    if args.capacity_ratio is not None:
+        config = config.with_capacity_ratio(args.capacity_ratio)
+    if args.fill_granularity is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config, gpu=replace(config.gpu, fill_granularity=args.fill_granularity)
+        )
+    return config
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--accesses", type=int, default=20_000,
+                        help="trace length per benchmark (default 20000)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cxl-bw-ratio", type=float, default=None,
+                        help="CXL:device bandwidth ratio (default 1/16)")
+    parser.add_argument("--capacity-ratio", type=float, default=None,
+                        help="device capacity / footprint ratio (default 0.35)")
+    parser.add_argument("--fill-granularity", choices=("page", "chunk"),
+                        default=None,
+                        help="page-fault data movement: whole page (default) "
+                             "or on-demand 256 B chunks")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """The ``list`` command: show benchmarks, models and figures."""
+    rows = [
+        (
+            spec.name, spec.suite, spec.intensity,
+            f"{spec.chunk_coverage:.0%}", spec.concurrent_pages,
+            f"{spec.write_fraction:.0%}", spec.compute_per_mem,
+        )
+        for spec in BENCHMARKS.values()
+    ]
+    print(
+        format_table(
+            ("benchmark", "suite", "intensity", "coverage",
+             "concurrency", "writes", "compute/mem"),
+            rows,
+            title="Benchmark suite (paper Section V-A stand-ins)",
+        )
+    )
+    print("\nmodels:", ", ".join(MODEL_NAMES))
+    print("figures:", ", ".join(FIGURES), "(or 'all')")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """The ``run`` command: simulate one benchmark under chosen models."""
+    config = _build_config(args)
+    if args.trace_file:
+        from .workloads.io import load_trace
+
+        trace = load_trace(args.trace_file)
+    else:
+        trace = build_trace(
+            args.benchmark, n_accesses=args.accesses, seed=args.seed,
+            num_sms=config.gpu.num_sms,
+        )
+    results = {m: run_model(config, trace, m) for m in args.models}
+    if args.json:
+        import json
+
+        print(json.dumps([r.to_dict() for r in results.values()], indent=2))
+        return 0
+    basis = results.get("nosec")
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            (
+                name,
+                result.ipc,
+                (result.ipc / basis.ipc) if basis else float("nan"),
+                result.fills,
+                result.evictions,
+                result.stats.security_bytes() / 1e6,
+            )
+        )
+    print(
+        format_table(
+            ("model", "ipc", "ipc_norm", "fills", "evicts", "security_MB"),
+            rows,
+            title=f"{args.benchmark}: {len(trace)} accesses, "
+                  f"{trace.footprint_pages} pages",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` command: export a generated trace to ``.npz``."""
+    from .workloads.io import save_trace
+
+    config = _build_config(args)
+    trace = build_trace(
+        args.benchmark, n_accesses=args.accesses, seed=args.seed,
+        num_sms=config.gpu.num_sms,
+    )
+    path = save_trace(trace, args.output)
+    print(
+        f"wrote {len(trace)} requests ({trace.footprint_pages} pages, "
+        f"{trace.write_fraction:.0%} writes) to {path}"
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """The ``figure`` command: regenerate one (or all) paper figures."""
+    config = _build_config(args)
+    names = list(FIGURES) if args.name == "all" else [args.name]
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else None
+    for name in names:
+        result = FIGURES[name](
+            config=config, benchmarks=benchmarks,
+            n_accesses=args.accesses, seed=args.seed,
+        )
+        print(result.to_text())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Salus (HPCA 2024) reproduction: simulations and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list benchmarks, models and figures")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one benchmark under chosen models")
+    p_run.add_argument("benchmark", choices=benchmark_names())
+    p_run.add_argument(
+        "--models", nargs="+", default=["nosec", "baseline", "salus"],
+        choices=MODEL_NAMES,
+    )
+    p_run.add_argument("--trace-file", default=None,
+                       help="run a saved .npz trace instead of generating one")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of a table")
+    _add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser("trace", help="export a benchmark trace to .npz")
+    p_trace.add_argument("benchmark", choices=benchmark_names())
+    p_trace.add_argument("output", help="output .npz path")
+    _add_common(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", choices=list(FIGURES) + ["all"])
+    p_fig.add_argument("--benchmarks", nargs="*", default=None)
+    _add_common(p_fig)
+    p_fig.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Salus: the paper's primary contribution.
+
+This package implements the data-relocation-friendly security design of
+Section IV, composed from four separable optimizations plus the unified
+addressing idea they all build on:
+
+* :mod:`repro.core.unified` - security computations keyed to the permanent
+  CXL address (Section IV-A): migration without re-encryption.
+* :mod:`repro.core.ifsc` - interleaving-friendly split counters
+  (Section IV-A1, Figure 4): one tagged major per 256 B chunk.
+* :mod:`repro.core.collapsed` - collapsed checkpointed counters
+  (Section IV-A2, Figures 5-6): CXL-side counters collapse to per-chunk
+  epochs embedded in MAC sectors at transfer.
+* :mod:`repro.core.fetch_on_access` - lazy MAC fetching (Section IV-A3,
+  Figure 7): metadata crosses the link only for chunks actually touched.
+* :mod:`repro.core.dirty_tracking` - fine-granularity dirty tracking in the
+  CXL-to-GPU mappings (Section IV-A4): only dirty chunks write back.
+
+:class:`repro.core.salus.SalusSecurityModel` composes them into the timing
+model evaluated in Figures 10-14; each piece can be disabled through
+:class:`repro.config.SalusConfig` for the ablation benchmarks.
+"""
+
+from .collapsed import CollapsedCXLMetadata
+from .dirty_tracking import FineDirtyTracking
+from .fetch_on_access import FetchOnAccessTracker
+from .ifsc import DeviceCounterGroups
+from .salus import SalusSecurityModel
+from .unified import UnifiedAddressSpace
+
+__all__ = [
+    "CollapsedCXLMetadata",
+    "DeviceCounterGroups",
+    "FetchOnAccessTracker",
+    "FineDirtyTracking",
+    "SalusSecurityModel",
+    "UnifiedAddressSpace",
+]

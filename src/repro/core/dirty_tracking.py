@@ -1,0 +1,77 @@
+"""Fine-granularity dirty tracking in the address mappings (Section IV-A4).
+
+GPU page tables may not even have a dirty bit, and a single coarse bit per
+page forces full-page writebacks. Salus keeps one dirty bit per interleaving
+chunk inside the CXL-to-GPU mapping entry and funnels updates through the
+32-entry buffer in the mapping-miss control logic: a write whose mapping is
+buffered costs nothing; otherwise the mapping sector is read once, and only
+LRU pressure writes it back.
+
+:class:`FineDirtyTracking` combines the authoritative bitmask state (shared
+:class:`~repro.migration.dirty.DirtyTracker`) with the buffer's traffic
+behaviour, exposing exactly what the timing model must book.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cxl.mapping_cache import DirtyBuffer
+from ..migration.dirty import DirtyTracker
+
+
+@dataclass(frozen=True)
+class DirtyWriteCost:
+    """Bookings a dirty-bit update requires (32 B mapping sectors)."""
+
+    mapping_reads: int = 0
+    mapping_writes: int = 0
+
+
+@dataclass
+class FineDirtyTracking:
+    """Chunk-granularity dirty bitmasks living in the mapping entries."""
+
+    tracker: DirtyTracker
+    buffer_entries: int = 32
+
+    def __post_init__(self) -> None:
+        self.buffer = DirtyBuffer(self.buffer_entries)
+        self.buffered_updates = 0
+        self.mapping_fetches = 0
+        self.mapping_writebacks = 0
+
+    def on_store(self, page: int, chunk_in_page: int) -> DirtyWriteCost:
+        """Record a write; returns the mapping traffic it caused."""
+        self.tracker.mark(page, chunk_in_page)
+        needed_fetch, evicted = self.buffer.note_write(page)
+        reads = 0
+        writes = 0
+        if needed_fetch:
+            self.mapping_fetches += 1
+            reads = 1
+        else:
+            self.buffered_updates += 1
+        if evicted is not None:
+            self.mapping_writebacks += 1
+            writes = 1
+        return DirtyWriteCost(mapping_reads=reads, mapping_writes=writes)
+
+    def consume_on_evict(self, page: int) -> Tuple[Tuple[int, ...], int]:
+        """Eviction consults the bitmask; returns (dirty chunks, extra reads).
+
+        If the freshest mask is neither buffered nor already in a mapping
+        cache line, the control logic reads the mapping sector once.
+        """
+        extra_reads = 0
+        if not self.buffer.drop(page):
+            if self.tracker.is_page_dirty(page):
+                extra_reads = 1
+        chunks = self.tracker.dirty_chunks(page)
+        return chunks, extra_reads
+
+    def mask_of(self, page: int) -> Optional[Tuple[int, ...]]:
+        """Current dirty chunks of ``page`` (None when clean)."""
+        chunks = self.tracker.dirty_chunks(page)
+        return chunks if chunks else None

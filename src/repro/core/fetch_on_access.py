@@ -1,0 +1,64 @@
+"""Fetch-only-on-access for security metadata (Section IV-A3, Figure 7).
+
+A page's data may be copied to device memory wholesale, but many chunks are
+never touched before the page is evicted again - the paper observes that
+for the biggest winners (NW, B+tree, Lava) *most* channels of a page go
+unaccessed per residency. Salus therefore moves MAC sectors lazily: the
+first access to a chunk in device memory performs a single CXL-tag
+comparison against the metadata resident at that device location; a tag
+mismatch (or empty slot) triggers the one-time fetch from the expansion
+memory.
+
+:class:`FetchOnAccessTracker` implements the tag check bookkeeping and the
+win/loss accounting that Figure 11's traffic reduction comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set, Tuple
+
+from .ifsc import DeviceCounterGroups
+
+
+@dataclass
+class FetchOnAccessTracker:
+    """Tracks which device chunks hold valid metadata for which CXL page."""
+
+    groups: DeviceCounterGroups
+    first_touch_fetches: int = 0
+    tag_hits: int = 0
+    avoided_fetches: int = 0
+    _filled_untouched: Set[Tuple[int, int]] = field(default_factory=set)
+
+    def note_fill(self, page: int, device_chunks: Tuple[int, ...]) -> None:
+        """A page's *data* arrived; its metadata did not. Remember the debt."""
+        for device_chunk in device_chunks:
+            self._filled_untouched.add((page, device_chunk))
+
+    def needs_fetch(self, page: int, device_chunk: int) -> bool:
+        """The Figure-7 tag comparison on an access to ``device_chunk``."""
+        if self.groups.is_installed_for(device_chunk, page):
+            self.tag_hits += 1
+            return False
+        return True
+
+    def record_fetch(self, page: int, device_chunk: int, epoch: int) -> None:
+        """Metadata was pulled from CXL and installed at the device slot."""
+        self.groups.install(device_chunk, epoch, page)
+        self._filled_untouched.discard((page, device_chunk))
+        self.first_touch_fetches += 1
+
+    def note_evict(self, page: int, device_chunks: Tuple[int, ...]) -> None:
+        """Page leaves; untouched chunks never paid metadata traffic."""
+        for device_chunk in device_chunks:
+            if (page, device_chunk) in self._filled_untouched:
+                self._filled_untouched.discard((page, device_chunk))
+                self.avoided_fetches += 1
+            self.groups.drop(device_chunk)
+
+    @property
+    def avoidance_rate(self) -> float:
+        """Fraction of chunk-residencies whose metadata never moved."""
+        total = self.first_touch_fetches + self.avoided_fetches
+        return self.avoided_fetches / total if total else 0.0

@@ -1,0 +1,95 @@
+"""Interleaving-friendly split counters, device side (Section IV-A1, Fig. 4).
+
+The conventional split-counter sector shares one major across 1 KiB of
+consecutive *device* addresses - four 256 B interleaving chunks that, in a
+page-cache device memory, belong to four different CXL pages with different
+write histories. Sharing a major across them forces unification
+re-encryptions on every install and eviction.
+
+Salus regroups: one major per chunk, eight minors (one per sector), a 32-bit
+CXL-page tag per group, two groups per 32 B counter sector. A chunk's
+counters now travel with the chunk, overflows stay chunk-local, and the
+counter sector a chunk lands in is a pure function of its *device* location
+while all values remain keyed to its *CXL* identity.
+
+:class:`DeviceCounterGroups` manages those groups for the whole device
+memory: install on first metadata touch, per-sector increments on
+writebacks, the collapse predicate at eviction, and the layout math that
+tells the timing layer which counter sector and Merkle leaf a chunk uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..address import Geometry
+from ..metadata.counters import (
+    CounterPair,
+    IncrementResult,
+    InterleavingFriendlyCounterStore,
+)
+from ..metadata.layout import SalusDeviceLayout
+from ..metadata.bmt import BMTGeometry
+
+
+@dataclass
+class DeviceCounterGroups:
+    """All Figure-4 counter groups of the GPU device memory."""
+
+    geometry: Geometry
+    num_channels: int
+    data_sectors_per_channel: int
+    minor_bits: int = 7
+
+    def __post_init__(self) -> None:
+        self.store = InterleavingFriendlyCounterStore(
+            sectors_per_chunk=self.geometry.sectors_per_chunk,
+            minor_bits=self.minor_bits,
+        )
+        self.layout = SalusDeviceLayout(
+            geometry=self.geometry, data_sectors=self.data_sectors_per_channel
+        )
+        self.installs = 0
+        self.evictions = 0
+
+    # -- group lifecycle --------------------------------------------------------
+    def install(self, device_chunk: int, epoch: int, cxl_page: int) -> None:
+        """Fill a group from CXL metadata (major=epoch, minors reset)."""
+        self.store.install(device_chunk, epoch, cxl_page)
+        self.installs += 1
+
+    def is_installed_for(self, device_chunk: int, cxl_page: int) -> bool:
+        """The CXL-tag comparison of Figure 7."""
+        return self.store.is_installed_for(device_chunk, cxl_page)
+
+    def drop(self, device_chunk: int) -> None:
+        """Discard a group when its page leaves device memory."""
+        self.store.evict(device_chunk)
+        self.evictions += 1
+
+    # -- counter operations --------------------------------------------------------
+    def read(self, device_chunk: int, sector_in_chunk: int) -> CounterPair:
+        """Current (major=epoch, minor) pair of one sector's counters."""
+        return self.store.read(device_chunk, sector_in_chunk)
+
+    def increment(self, device_chunk: int, sector_in_chunk: int) -> IncrementResult:
+        """Write path: minor++; an overflow re-encrypts only this chunk."""
+        return self.store.increment(device_chunk, sector_in_chunk)
+
+    def needs_collapse(self, device_chunk: int) -> bool:
+        """True when any minor is non-zero (the chunk was written)."""
+        return self.store.any_minor_nonzero(device_chunk)
+
+    # -- layout ----------------------------------------------------------------
+    def counter_sector_unit(self, local_sector: int) -> int:
+        """Channel-local counter-sector index for a data sector."""
+        return self.layout.counter_sector(local_sector)
+
+    def bmt_geometry(self, arity: int = 8) -> BMTGeometry:
+        """Shape of each channel's local tree over its counter sectors."""
+        return self.layout.bmt_geometry(arity)
+
+    def chunk_sectors(self) -> Tuple[int, ...]:
+        """Sector indices within a chunk (convenience for iteration)."""
+        return tuple(range(self.geometry.sectors_per_chunk))

@@ -1,0 +1,530 @@
+"""The Salus timing security model (paper Section IV, evaluated in Sec. V).
+
+Composes the unified address space, interleaving-friendly device counters,
+collapsed CXL counters with MAC-sector embedding, fetch-on-access metadata
+movement, and fine-granularity dirty tracking into one
+:class:`~repro.security.model.TimingSecurityModel`.
+
+Every optimization is individually switchable through
+:class:`~repro.config.SalusConfig` so the ablation benchmarks can measure
+each increment:
+
+* ``fetch_on_access=False`` - all MAC (and, without collapse, counter)
+  sectors of a page cross the link at fill time instead of lazily;
+* ``collapsed_counters=False`` - counter sectors travel as dedicated
+  transfers and the CXL Merkle tree is built over the finer counter space;
+* ``fine_dirty_tracking=False`` - evictions fall back to the coarse
+  page-dirty bit (any write -> all 16 chunks write back);
+* ``interleaving_friendly_counters=False`` - the "unified-only" ablation:
+  metadata is still CXL-addressed (no migration re-encryption), but device
+  counters keep the conventional 1 KiB-shared-major structure, so chunk
+  installs and dirty writebacks pay the major-unification re-encryptions
+  Section IV-A1 describes.
+
+What never changes inside this class: data ciphertext crosses the link
+**as-is** in both directions, because all IVs are keyed to permanent CXL
+addresses. That single property is where most of Figure 10's speedup
+comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..config import SalusConfig
+from ..metadata.counters import ConventionalSplitCounterStore
+from ..metadata.layout import SalusDeviceLayout
+from ..security.fabric import MemoryFabric, SectorLoc
+from ..security.model import TimingSecurityModel
+from ..sim.stats import TrafficCategory
+from .collapsed import CollapsedCXLMetadata
+from .dirty_tracking import FineDirtyTracking
+from .fetch_on_access import FetchOnAccessTracker
+from .ifsc import DeviceCounterGroups
+from .unified import UnifiedAddressSpace
+
+MAPPING_SECTOR_BYTES = 32
+
+
+class SalusSecurityModel(TimingSecurityModel):
+    """Data-relocation-friendly security with unified metadata."""
+
+    name = "salus"
+
+    def __init__(
+        self, fabric: MemoryFabric, salus_config: Optional[SalusConfig] = None
+    ) -> None:
+        super().__init__(fabric)
+        self.cfg = salus_config if salus_config is not None else fabric.config.salus
+        geom = self.geometry
+        gpu = self.config.gpu
+        sec = self.config.security
+
+        self.unified = UnifiedAddressSpace(
+            geometry=geom, footprint_pages=fabric.footprint_pages
+        )
+
+        sectors_per_channel = max(
+            geom.sectors_per_chunk,
+            fabric.num_frames * geom.sectors_per_page // gpu.num_channels,
+        )
+        self.groups = DeviceCounterGroups(
+            geometry=geom,
+            num_channels=gpu.num_channels,
+            data_sectors_per_channel=sectors_per_channel,
+            minor_bits=sec.minor_counter_bits,
+        )
+        self._dev_bmt = self.groups.bmt_geometry(sec.bmt_arity)
+
+        self.cxl_state = CollapsedCXLMetadata(
+            geometry=geom,
+            footprint_pages=fabric.footprint_pages,
+            minor_bits=sec.cxl_minor_counter_bits,
+        )
+        if self.cfg.collapsed_counters:
+            self._cxl_bmt = self.cxl_state.bmt_geometry(sec.bmt_arity)
+        else:
+            # Without collapse the CXL tree covers the finer IFSC counter
+            # space: one 32 B sector per two chunks instead of per page.
+            fine = SalusDeviceLayout(
+                geometry=geom,
+                data_sectors=fabric.footprint_pages * geom.sectors_per_page,
+            )
+            self._cxl_fine_layout = fine
+            self._cxl_bmt = fine.bmt_geometry(sec.bmt_arity)
+
+        self.foa = FetchOnAccessTracker(groups=self.groups)
+        # A private tracker by default; the simulator re-attaches its shared
+        # one so all models observe the identical write stream.
+        self.fine_dirty: Optional[FineDirtyTracking] = None
+        from ..migration.dirty import DirtyTracker
+
+        self.attach_dirty_tracker(DirtyTracker(geom.chunks_per_page))
+
+        # Unified-only ablation state: conventional device counters and the
+        # per-counter-sector resident major used for unification accounting.
+        if not self.cfg.interleaving_friendly_counters:
+            self._conv_dev_counters: Dict[int, ConventionalSplitCounterStore] = {
+                c: ConventionalSplitCounterStore(minor_bits=sec.minor_counter_bits)
+                for c in range(gpu.num_channels)
+            }
+            self._resident_major: Dict[Tuple[int, int], int] = {}
+
+    # -- wiring ------------------------------------------------------------------
+    def attach_dirty_tracker(self, tracker) -> None:
+        super().attach_dirty_tracker(tracker)
+        self.fine_dirty = FineDirtyTracking(tracker=tracker)
+
+    # -- small helpers -----------------------------------------------------------
+    def _mapping_channel(self, page: int) -> int:
+        """Mapping sectors are hashed/interleaved over the device channels."""
+        return (page // 4) % self.config.gpu.num_channels
+
+    def _cxl_counter_unit(self, page: int, chunk_in_page: int) -> int:
+        if self.cfg.collapsed_counters:
+            return self.cxl_state.counter_sector_unit(page)
+        global_chunk = page * self.geometry.chunks_per_page + chunk_in_page
+        return global_chunk // 2
+
+    def _device_chunks_of(self, frame: int) -> Tuple[int, ...]:
+        cpp = self.geometry.chunks_per_page
+        return tuple(frame * cpp + c for c in range(cpp))
+
+    # ------------------------------------------------------------------ demand read
+    def read_complete(self, now: int, loc: SectorLoc, data_ready: int) -> int:
+        fabric = self.fabric
+        ch = loc.channel
+        caches = fabric.device_meta[ch]
+
+        meta_ready = now
+        if self.cfg.fetch_on_access and self.foa.needs_fetch(loc.page, loc.device_chunk):
+            meta_ready = self._fetch_chunk_metadata(
+                now, loc.page, loc.frame, loc.chunk_in_page, critical=True
+            )
+        elif not self.cfg.interleaving_friendly_counters:
+            pass  # conventional device counters are installed at fill time
+
+        # Counter leg through the device counter cache + local Merkle tree.
+        ctr_rd = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.COUNTER, priority=True
+        )
+        ctr_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        ctr_unit = self.groups.counter_sector_unit(loc.local_sector)
+        ctr_ready, ctr_hit = fabric.metadata_access(
+            now, caches.counter, ctr_unit, ctr_rd, ctr_wr, TrafficCategory.COUNTER
+        )
+        if not ctr_hit:
+            bmt_rd = lambda t, n: fabric.device_read(
+                t, ch, n, TrafficCategory.BMT, priority=True
+            )
+            bmt_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
+            ctr_ready = max(
+                ctr_ready,
+                fabric.bmt_read_walk(
+                    now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd, bmt_wr
+                ),
+            )
+        otp_ready = fabric.aes_engines[ch].book(max(ctr_ready, meta_ready))
+
+        # MAC leg through the device MAC cache.
+        mac_rd = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.MAC, priority=True
+        )
+        mac_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
+        mac_ready, _ = fabric.metadata_access(
+            now, caches.mac, loc.local_block, mac_rd, mac_wr, TrafficCategory.MAC
+        )
+        mac_ready = max(mac_ready, meta_ready)
+
+        plaintext_ready = max(data_ready, otp_ready) + 1
+        verified = fabric.mac_engines[ch].book(max(data_ready, mac_ready))
+        return max(plaintext_ready, verified)
+
+    # ------------------------------------------------------------------ first touch
+    def _fetch_chunk_metadata(
+        self, now: int, page: int, frame: int, chunk_in_page: int, critical: bool,
+        link_paid: bool = False,
+    ) -> int:
+        """One-time metadata pull for a chunk (Figure 7 right-hand path).
+
+        Brings the chunk's two MAC sectors (with the embedded epoch) across
+        the link, verifies the epoch against the CXL counter sector and its
+        Merkle path, installs the device counter group, and dirties the
+        device-side metadata cache lines so they eventually persist locally.
+        """
+        fabric = self.fabric
+        geom = self.geometry
+        channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk_in_page)
+        caches = fabric.device_meta[channel]
+        device_chunk = frame * geom.chunks_per_page + chunk_in_page
+        self.stats.bump("salus.first_touch_fetches")
+
+        # MAC sectors: 2 x 32 B per chunk, carrying the embedded epoch
+        # (``link_paid`` marks the non-lazy fill path, where the page's MAC
+        # region already streamed across in one bulk transfer).
+        mac_ready = now
+        if not link_paid:
+            mac_ready = fabric.link_read(
+                now, 2 * MAPPING_SECTOR_BYTES, TrafficCategory.MAC,
+                critical=critical, priority=critical,
+            )
+            if not self.cfg.collapsed_counters:
+                # Dedicated counter transfer when the embed slot is disabled.
+                mac_ready = max(
+                    mac_ready,
+                    fabric.link_read(
+                        now, MAPPING_SECTOR_BYTES, TrafficCategory.COUNTER,
+                        critical=critical, priority=critical,
+                    ),
+                )
+
+        # Epoch freshness: the CXL counter sector and its Merkle path.
+        link_rd = lambda t, n: fabric.link_read(
+            t, n, TrafficCategory.COUNTER, critical=critical, priority=critical
+        )
+        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        unit = self._cxl_counter_unit(page, chunk_in_page)
+        ctr_ready, ctr_hit = fabric.metadata_access(
+            now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+            TrafficCategory.COUNTER,
+        )
+        if not ctr_hit:
+            bmt_rd = lambda t, n: fabric.link_read(
+                t, n, TrafficCategory.BMT, critical=critical, priority=critical
+            )
+            bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+            ctr_ready = max(
+                ctr_ready,
+                fabric.bmt_read_walk(
+                    now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd, bmt_wr
+                ),
+            )
+
+        # Install: counter group (or conventional majors) plus dirty device
+        # metadata lines that will persist via cache writebacks.
+        epoch = self.cxl_state.chunk_epoch(page, chunk_in_page)
+        if self.cfg.interleaving_friendly_counters:
+            self.foa.record_fetch(page, device_chunk, epoch)
+        else:
+            self._install_conventional(now, channel, local_chunk, epoch)
+        local_base = local_chunk * geom.sectors_per_chunk
+        ctr_unit = self.groups.counter_sector_unit(local_base)
+        dev_rd = lambda t, n: fabric.device_read(
+            t, channel, n, TrafficCategory.COUNTER, critical=False
+        )
+        dev_wr = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.COUNTER)
+        fabric.metadata_access(
+            now, caches.counter, ctr_unit, dev_rd, dev_wr,
+            TrafficCategory.COUNTER, write=True, tag_payload=page,
+        )
+        mac_dev_rd = lambda t, n: fabric.device_read(
+            t, channel, n, TrafficCategory.MAC, critical=False
+        )
+        mac_dev_wr = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.MAC)
+        for block in range(geom.blocks_per_chunk):
+            fabric.metadata_access(
+                now, caches.mac, local_base // geom.sectors_per_block + block,
+                mac_dev_rd, mac_dev_wr, TrafficCategory.MAC, write=True,
+                tag_payload=page,
+            )
+        bmt_rd2 = lambda t, n: fabric.device_read(
+            t, channel, n, TrafficCategory.BMT, critical=False
+        )
+        bmt_wr2 = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.BMT)
+        fabric.bmt_update_walk(
+            now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd2, bmt_wr2
+        )
+        return max(mac_ready, ctr_ready)
+
+    def _install_conventional(
+        self, now: int, channel: int, local_chunk: int, epoch: int
+    ) -> None:
+        """Unified-only ablation: install into location-shared majors.
+
+        The conventional counter sector covers four chunks of different CXL
+        pages. If the sector's resident major differs from the incoming
+        epoch, the incoming chunk must be re-encrypted to the shared value -
+        the unification cost of Section IV-A1.
+        """
+        geom = self.geometry
+        local_base = local_chunk * geom.sectors_per_chunk
+        store = self._conv_dev_counters[channel]
+        unit = store.group_index(local_base)
+        resident = self._resident_major.get((channel, unit))
+        if resident is not None and resident != epoch:
+            self.stats.bump("salus.unification_reencrypts")
+            nbytes = geom.chunk_bytes
+            done = self.fabric.device_read(
+                now, channel, nbytes, TrafficCategory.REENC_DATA, critical=False
+            )
+            self.fabric.aes_engines[channel].book(done, geom.sectors_per_chunk)
+            self.fabric.device_write(done, channel, nbytes, TrafficCategory.REENC_DATA)
+        self._resident_major[(channel, unit)] = epoch
+
+    # ------------------------------------------------------------------ demand write
+    def on_store(self, now: int, loc: SectorLoc) -> None:
+        if not self.cfg.fine_dirty_tracking:
+            self.dirty_tracker.mark(loc.page, loc.chunk_in_page)
+            return
+        cost = self.fine_dirty.on_store(loc.page, loc.chunk_in_page)
+        if cost.mapping_reads or cost.mapping_writes:
+            ch = self._mapping_channel(loc.page)
+            for _ in range(cost.mapping_reads):
+                self.fabric.device_read(
+                    now, ch, MAPPING_SECTOR_BYTES, TrafficCategory.MAPPING,
+                    critical=False,
+                )
+            for _ in range(cost.mapping_writes):
+                self.fabric.device_write(
+                    now, ch, MAPPING_SECTOR_BYTES, TrafficCategory.MAPPING
+                )
+
+    def writeback(self, now: int, loc: SectorLoc) -> None:
+        """Posted L2 dirty-sector writeback: counter++, re-encrypt, MAC."""
+        fabric = self.fabric
+        ch = loc.channel
+        caches = fabric.device_meta[ch]
+
+        if self.cfg.interleaving_friendly_counters:
+            if not self.groups.is_installed_for(loc.device_chunk, loc.page):
+                # Write-validate without a prior read: the metadata debt is
+                # paid here (posted).
+                self._fetch_chunk_metadata(
+                    now, loc.page, loc.frame, loc.chunk_in_page, critical=False
+                )
+            result = self.groups.increment(loc.device_chunk, loc.sector_in_chunk)
+            if result.overflowed:
+                self._reencrypt_chunk(now, ch, loc)
+        else:
+            result = self._conv_dev_counters[ch].increment(loc.local_sector)
+            if result.overflowed:
+                self.stats.bump("salus.conv_overflow_reencrypts")
+                nbytes = len(result.reencrypt_units) * self.geometry.sector_bytes
+                done = fabric.device_read(
+                    now, ch, nbytes, TrafficCategory.REENC_DATA, critical=False
+                )
+                fabric.aes_engines[ch].book(done, len(result.reencrypt_units))
+                fabric.device_write(done, ch, nbytes, TrafficCategory.REENC_DATA)
+
+        ctr_rd = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.COUNTER, critical=False
+        )
+        ctr_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        ctr_unit = self.groups.counter_sector_unit(loc.local_sector)
+        fabric.metadata_access(
+            now, caches.counter, ctr_unit, ctr_rd, ctr_wr,
+            TrafficCategory.COUNTER, write=True,
+        )
+        fabric.aes_engines[ch].book(now)
+        mac_rd = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.MAC, critical=False
+        )
+        mac_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
+        fabric.metadata_access(
+            now, caches.mac, loc.local_block, mac_rd, mac_wr,
+            TrafficCategory.MAC, write=True,
+        )
+        fabric.mac_engines[ch].book(now)
+        bmt_rd = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.BMT, critical=False
+        )
+        bmt_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
+        fabric.bmt_update_walk(
+            now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd, bmt_wr
+        )
+
+    def _reencrypt_chunk(self, now: int, channel: int, loc: SectorLoc) -> None:
+        """A chunk-local minor overflow re-encrypts only its own 256 B."""
+        self.stats.bump("salus.chunk_overflow_reencrypts")
+        nbytes = self.geometry.chunk_bytes
+        done = self.fabric.device_read(
+            now, channel, nbytes, TrafficCategory.REENC_DATA, critical=False
+        )
+        self.fabric.aes_engines[channel].book(done, self.geometry.sectors_per_chunk)
+        self.fabric.device_write(done, channel, nbytes, TrafficCategory.REENC_DATA)
+
+    # ------------------------------------------------------------------ migration
+    def fill(self, now: int, page: int, frame: int) -> int:
+        """Fill = pure ciphertext copy. No re-encryption, ever.
+
+        With fetch-on-access the metadata debt is deferred per chunk; without
+        it, every chunk's metadata crosses the link right now.
+        """
+        geom = self.geometry
+        fabric = self.fabric
+        _, install_done = self._copy_page_to_device(now, page, frame)
+        device_chunks = self._device_chunks_of(frame)
+        if self.cfg.fetch_on_access:
+            self.foa.note_fill(page, device_chunks)
+            return install_done
+        # Non-lazy ablation: every chunk's metadata crosses the link at fill
+        # time, exactly like the demand-time fetch but all at once.
+        ready = install_done
+        for chunk in range(geom.chunks_per_page):
+            ready = max(
+                ready,
+                self._fetch_chunk_metadata(now, page, frame, chunk, critical=True),
+            )
+        return ready
+
+    def fill_chunk(self, now: int, page: int, frame: int, chunk_in_page: int) -> int:
+        """Demand chunk fill: still a pure ciphertext copy under Salus.
+
+        Unified addressing makes the partial-fill policy free to adopt
+        (Section IV-A3: "our proposal works with any of these"): the 256 B
+        chunk moves verbatim and its metadata follows the normal
+        fetch-on-access path on first use.
+        """
+        ready = super().fill_chunk(now, page, frame, chunk_in_page)
+        if self.cfg.fetch_on_access:
+            device_chunk = frame * self.geometry.chunks_per_page + chunk_in_page
+            self.foa.note_fill(page, (device_chunk,))
+        else:
+            ready = max(
+                ready,
+                self._fetch_chunk_metadata(now, page, frame, chunk_in_page, critical=True),
+            )
+        return ready
+
+    def evict(
+        self, now: int, page: int, frame: int,
+        dirty_chunks: Tuple[int, ...], page_dirty: bool,
+    ) -> int:
+        geom = self.geometry
+        fabric = self.fabric
+        drain = now
+        self._drop_device_page_metadata(frame)
+
+        if self.cfg.fine_dirty_tracking:
+            chunks = dirty_chunks
+            if self.fine_dirty is not None:
+                buffered = self.fine_dirty.buffer.drop(page)
+                if not buffered and page_dirty:
+                    # Freshest bitmask must be read from the mapping sector.
+                    fabric.device_read(
+                        now, self._mapping_channel(page), MAPPING_SECTOR_BYTES,
+                        TrafficCategory.MAPPING, critical=False,
+                    )
+        else:
+            chunks = tuple(range(geom.chunks_per_page)) if page_dirty else ()
+
+        touched_ctr_units = set()
+        for chunk in chunks:
+            channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
+            device_chunk = frame * geom.chunks_per_page + chunk
+
+            # Data: read the chunk, re-encrypt under the advanced epoch,
+            # push the ciphertext across the link. (Collapse re-encryption
+            # is required - the stored epoch must cover all 8 sectors.)
+            drain = max(drain, self._copy_chunks_to_cxl(now, frame, (chunk,)))
+            if self.cfg.interleaving_friendly_counters:
+                # Collapse only if the chunk was actually written (any minor
+                # non-zero); with fine dirty tracking that is always true for
+                # chunks in the list, but the coarse-bit fallback also drags
+                # clean chunks through here.
+                needs = self.groups.needs_collapse(device_chunk)
+            else:
+                needs = True
+            if needs:
+                result = self.cxl_state.collapse(page, chunk)
+                if result.overflowed:
+                    self.stats.bump("salus.page_epoch_overflows")
+                    fabric.link_read(
+                        now, geom.page_bytes, TrafficCategory.REENC_DATA,
+                        critical=False,
+                    )
+                    fabric.link_write(
+                        now, geom.page_bytes, TrafficCategory.REENC_DATA
+                    )
+                fabric.aes_engines[channel].book(now, geom.sectors_per_chunk)
+                fabric.mac_engines[channel].book(now, geom.sectors_per_chunk)
+
+            # MAC sectors travel with the embedded (new) epoch: 2 x 32 B.
+            drain = max(
+                drain,
+                fabric.link_write(now, 2 * MAPPING_SECTOR_BYTES, TrafficCategory.MAC),
+            )
+            if not self.cfg.collapsed_counters:
+                fabric.link_write(now, MAPPING_SECTOR_BYTES, TrafficCategory.COUNTER)
+            if not self.cfg.interleaving_friendly_counters:
+                # Unification debt: the chunk was sharing a location major.
+                self.stats.bump("salus.unification_reencrypts")
+                done = fabric.device_read(
+                    now, channel, geom.chunk_bytes, TrafficCategory.REENC_DATA,
+                    critical=False,
+                )
+                fabric.device_write(done, channel, geom.chunk_bytes, TrafficCategory.REENC_DATA)
+
+            touched_ctr_units.add(self._cxl_counter_unit(page, chunk))
+            _ = local_chunk
+
+        # CXL counter sectors + Merkle updates, once per touched unit.
+        link_rd = lambda t, n: fabric.link_read(
+            t, n, TrafficCategory.COUNTER, critical=False
+        )
+        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        bmt_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT, critical=False)
+        bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+        for unit in sorted(touched_ctr_units):
+            fabric.metadata_access(
+                now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+                TrafficCategory.COUNTER, write=True,
+            )
+            fabric.bmt_update_walk(
+                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd, bmt_wr
+            )
+
+        # Device-side bookkeeping: drop counter groups and count avoided
+        # metadata fetches (the Figure 11 win).
+        if self.cfg.interleaving_friendly_counters:
+            self.foa.note_evict(page, self._device_chunks_of(frame))
+        return drain
+
+    # ------------------------------------------------------------------ lifecycle
+    def finalize(self, now: int) -> None:
+        categories = {
+            "counter": TrafficCategory.COUNTER,
+            "mac": TrafficCategory.MAC,
+            "bmt": TrafficCategory.BMT,
+        }
+        self.fabric.flush_metadata_caches(now, categories, categories)

@@ -1,0 +1,80 @@
+"""Unified security addressing (paper Section IV-A).
+
+The root idea of Salus: because the GPU device memory is a *cache* of the
+CXL expansion memory, every datum has one permanent address - its CXL
+address - and that address can anchor all security computation regardless of
+where the bytes physically live. Consequences:
+
+* the IV's spatial component is the CXL sector address, so ciphertext is
+  valid in either memory and **migration never re-encrypts**;
+* MACs bind to the CXL address, so they migrate untouched;
+* a device location may host different CXL pages over time and even reuse
+  counter values - OTP uniqueness still holds because the IVs differ in
+  their address component (the paper's "Security Impact" argument).
+
+:class:`UnifiedAddressSpace` is the one place that computes security
+coordinates, shared by the functional system and the timing model so the
+two layers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..address import Geometry
+from ..errors import AddressError
+
+
+@dataclass(frozen=True)
+class SecurityCoordinates:
+    """Everything the security machinery needs to know about one sector."""
+
+    cxl_sector_addr: int   # spatial IV component (byte address, permanent)
+    page: int
+    chunk_in_page: int
+    sector_in_chunk: int
+    block_in_page: int
+    sector_in_block: int
+
+
+@dataclass(frozen=True)
+class UnifiedAddressSpace:
+    """Maps permanent CXL addresses to security coordinates."""
+
+    geometry: Geometry
+    footprint_pages: int
+
+    def __post_init__(self) -> None:
+        if self.footprint_pages <= 0:
+            raise AddressError("footprint_pages must be positive")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_pages * self.geometry.page_bytes
+
+    def coordinates(self, cxl_addr: int) -> SecurityCoordinates:
+        """Security coordinates of the sector containing ``cxl_addr``."""
+        if not 0 <= cxl_addr < self.footprint_bytes:
+            raise AddressError(
+                f"address {cxl_addr:#x} outside protected footprint of "
+                f"{self.footprint_bytes} bytes"
+            )
+        geom = self.geometry
+        return SecurityCoordinates(
+            cxl_sector_addr=geom.align_sector(cxl_addr),
+            page=geom.page_of(cxl_addr),
+            chunk_in_page=geom.chunk_in_page(cxl_addr),
+            sector_in_chunk=geom.sector_in_chunk(cxl_addr),
+            block_in_page=(cxl_addr % geom.page_bytes) // geom.block_bytes,
+            sector_in_block=geom.sector_in_block(cxl_addr),
+        )
+
+    def iv_spatial(self, cxl_addr: int) -> int:
+        """The spatial IV component: the permanent sector address."""
+        return self.coordinates(cxl_addr).cxl_sector_addr
+
+    def chunk_key(self, cxl_addr: int) -> Tuple[int, int]:
+        """(page, chunk) - the unit counters collapse over."""
+        coords = self.coordinates(cxl_addr)
+        return coords.page, coords.chunk_in_page

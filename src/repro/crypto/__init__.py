@@ -1,0 +1,28 @@
+"""Functional cryptography substrate.
+
+This package implements the actual cryptographic primitives the security
+models are built on: AES-128 (pure Python, validated against the FIPS-197
+test vectors), counter-mode one-time-pad generation with the Salus
+spatio-temporal initialization vector, and truncated keyed MACs.
+
+The *timing* simulator never touches real bytes - it only models engine
+latency and occupancy - but the *functional* layer (tests, the
+``confidential_migration`` example) uses these primitives to prove the
+paper's security argument end to end: ciphertext migrates between memories
+unchanged, tampering trips the MAC, replay trips the Merkle tree, and OTPs
+never repeat because the permanent CXL address is the spatial IV component.
+"""
+
+from .aes import AES128
+from .ctr_mode import CounterModeCipher, make_iv
+from .keys import KeySet
+from .mac import truncated_mac, verify_mac
+
+__all__ = [
+    "AES128",
+    "CounterModeCipher",
+    "KeySet",
+    "make_iv",
+    "truncated_mac",
+    "verify_mac",
+]

@@ -1,0 +1,75 @@
+"""Counter-mode encryption with the Salus spatio-temporal IV.
+
+Counter-mode encryption (paper Section II-A1, Figure 1) never feeds data
+through the block cipher. Instead a unique initialization vector - the
+concatenation of a *spatial* component and a *temporal* component - is
+encrypted to produce a one-time pad (OTP), and the pad is XORed with the
+plaintext. Security rests entirely on never reusing an IV under the same
+key.
+
+Salus's key insight lives in the spatial component: it is always the
+**CXL (home) address** of the sector, never the transient device-memory
+address. That is what lets ciphertext move between memories without
+re-encryption, and it is also why reusing a *device* location for different
+CXL pages is safe - the IVs still differ (paper, "Security Impact").
+
+The temporal component is the (major, minor) split counter pair.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .aes import AES128
+
+
+def make_iv(cxl_sector_addr: int, major: int, minor: int) -> bytes:
+    """Pack the spatio-temporal IV for one 32 B sector into an AES block.
+
+    Layout (16 bytes): 6-byte sector address, 6-byte major counter,
+    2-byte minor counter, 2-byte block ordinal slot (filled by the cipher
+    for each 16 B slice of the sector).
+    """
+    if cxl_sector_addr < 0 or major < 0 or minor < 0:
+        raise ValueError("IV components must be non-negative")
+    return struct.pack(
+        ">QQ",
+        (cxl_sector_addr & 0xFFFFFFFFFFFF) << 16 | (major >> 32) & 0xFFFF,
+        (major & 0xFFFFFFFF) << 32 | (minor & 0xFFFF) << 16,
+    )
+
+
+class CounterModeCipher:
+    """Encrypt/decrypt 32 B sectors with AES-128 counter mode.
+
+    Encryption and decryption are the same operation (XOR with the OTP), so
+    a single :meth:`crypt_sector` serves both directions, exactly like the
+    hardware engine the paper models.
+    """
+
+    SECTOR_BYTES = 32
+
+    def __init__(self, encryption_key: bytes) -> None:
+        self._aes = AES128(encryption_key)
+
+    def one_time_pad(self, cxl_sector_addr: int, major: int, minor: int) -> bytes:
+        """Generate the 32 B OTP for a sector (two AES blocks).
+
+        The pad depends only on (address, major, minor) so it can be
+        pre-computed before the data arrives - the property that takes
+        decryption off the read critical path.
+        """
+        iv = make_iv(cxl_sector_addr, major, minor)
+        pad0 = self._aes.encrypt_block(iv[:-1] + bytes([0]))
+        pad1 = self._aes.encrypt_block(iv[:-1] + bytes([1]))
+        return pad0 + pad1
+
+    def crypt_sector(
+        self, data: bytes, cxl_sector_addr: int, major: int, minor: int
+    ) -> bytes:
+        """XOR a 32 B sector with its OTP (encrypts plaintext or decrypts
+        ciphertext - counter mode is symmetric)."""
+        if len(data) != self.SECTOR_BYTES:
+            raise ValueError(f"sector must be {self.SECTOR_BYTES} bytes")
+        pad = self.one_time_pad(cxl_sector_addr, major, minor)
+        return bytes(d ^ p for d, p in zip(data, pad))

@@ -1,0 +1,38 @@
+"""Key material held inside the trusted computing base (the GPU chip).
+
+A :class:`KeySet` bundles the two independent keys the security models need:
+one for counter-mode encryption and one for MAC generation. Real systems
+derive these from fuses or a DRBG at boot; the reproduction derives them
+deterministically from a seed so tests are repeatable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeySet:
+    """Encryption and MAC keys for one protected memory system."""
+
+    encryption_key: bytes
+    mac_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.encryption_key) != 16:
+            raise ValueError("encryption_key must be 16 bytes (AES-128)")
+        if len(self.mac_key) < 16:
+            raise ValueError("mac_key must be at least 16 bytes")
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeySet":
+        """Derive a deterministic key set from arbitrary seed bytes."""
+        enc = hashlib.sha256(b"repro-enc|" + seed).digest()[:16]
+        mac = hashlib.sha256(b"repro-mac|" + seed).digest()
+        return cls(encryption_key=enc, mac_key=mac)
+
+    @classmethod
+    def default(cls) -> "KeySet":
+        """The fixed key set used by examples and tests."""
+        return cls.from_seed(b"salus-hpca-2024")

@@ -1,0 +1,22 @@
+"""CXL expansion-memory substrate (paper Sections II-B and IV-B).
+
+Models a type-3 memory expander reached over a CXL link whose aggregate
+bandwidth is a configurable fraction of the device-memory bandwidth, plus
+the flipped address-translation machinery of Section IV-B: a hashed
+CXL-to-GPU mapping table stored in device memory, per-GPC mapping caches,
+and the miss-handling control logic with its 32-entry dirty-bitmask buffer.
+"""
+
+from .device import ExpansionMemory, SectorStore
+from .mapping import MappingEntry, MappingTable
+from .mapping_cache import DirtyBuffer, MappingCache, MappingMissHandler
+
+__all__ = [
+    "DirtyBuffer",
+    "ExpansionMemory",
+    "MappingCache",
+    "MappingEntry",
+    "MappingMissHandler",
+    "MappingTable",
+    "SectorStore",
+]

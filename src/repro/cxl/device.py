@@ -1,0 +1,75 @@
+"""Byte-level memory images for the functional layer.
+
+:class:`SectorStore` is a sparse sector-granularity byte store used for both
+the GPU device memory image and the CXL expansion memory image in the
+functional security system. Absent sectors read as zeros, like initialized
+DRAM after a secure wipe.
+
+:class:`ExpansionMemory` specializes the store with a capacity bound, which
+is all a type-3 device adds functionally - the *timing* personality of CXL
+(bandwidth, latency) lives in :class:`repro.memsys.channel.LinkPair`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..address import SECTOR_BYTES
+from ..errors import AddressError
+
+
+class SectorStore:
+    """Sparse sector-granularity byte storage."""
+
+    def __init__(self, sector_bytes: int = SECTOR_BYTES) -> None:
+        self.sector_bytes = sector_bytes
+        self._sectors: Dict[int, bytes] = {}
+
+    def read(self, sector_index: int) -> bytes:
+        """Read one sector; untouched sectors read as zeros."""
+        self._check(sector_index)
+        return self._sectors.get(sector_index, b"\x00" * self.sector_bytes)
+
+    def write(self, sector_index: int, data: bytes) -> None:
+        self._check(sector_index)
+        if len(data) != self.sector_bytes:
+            raise AddressError(
+                f"sector write must be exactly {self.sector_bytes} bytes, "
+                f"got {len(data)}"
+            )
+        self._sectors[sector_index] = bytes(data)
+
+    def discard(self, sector_index: int) -> None:
+        """Drop a sector (used when a frame is recycled)."""
+        self._sectors.pop(sector_index, None)
+
+    def __contains__(self, sector_index: int) -> bool:
+        return sector_index in self._sectors
+
+    def __len__(self) -> int:
+        return len(self._sectors)
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        return iter(self._sectors.items())
+
+    def _check(self, sector_index: int) -> None:
+        if sector_index < 0:
+            raise AddressError(f"negative sector index {sector_index}")
+
+
+class ExpansionMemory(SectorStore):
+    """A CXL type-3 expander's data image with an optional capacity bound."""
+
+    def __init__(
+        self, sector_bytes: int = SECTOR_BYTES, capacity_sectors: Optional[int] = None
+    ) -> None:
+        super().__init__(sector_bytes)
+        self.capacity_sectors = capacity_sectors
+
+    def _check(self, sector_index: int) -> None:
+        super()._check(sector_index)
+        if self.capacity_sectors is not None and sector_index >= self.capacity_sectors:
+            raise AddressError(
+                f"sector {sector_index} beyond expander capacity of "
+                f"{self.capacity_sectors} sectors"
+            )

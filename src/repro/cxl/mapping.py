@@ -1,0 +1,108 @@
+"""The hashed CXL-to-GPU mapping table (paper Section IV-B).
+
+Page tables permanently hold CXL addresses (so no TLB shootdowns, no L1
+flushes); a second translation - CXL page to device frame - is consulted
+before the interconnect routing decision. That translation lives in a hashed
+table in device memory: each 32 B mapping sector holds four consecutive CXL
+page mappings, and Salus additionally keeps the per-chunk dirty bitmask
+inside the mapping entry (Section IV-A4).
+
+This module is the authoritative, functional table; the timing costs of
+reaching it (mapping-cache misses, dirty-buffer writebacks) are modelled by
+:mod:`repro.cxl.mapping_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import AddressError
+
+MAPPINGS_PER_SECTOR = 4
+MAPPING_SECTOR_BYTES = 32
+
+
+@dataclass
+class MappingEntry:
+    """One CXL page's mapping: resident frame plus dirty state.
+
+    ``dirty_mask`` has one bit per chunk (Salus fine tracking);
+    ``page_dirty`` is the conventional single coarse bit. Both are kept so
+    any security model can read the granularity it supports from the same
+    entry.
+    """
+
+    frame: Optional[int] = None
+    dirty_mask: int = 0
+    page_dirty: bool = False
+
+    @property
+    def resident(self) -> bool:
+        return self.frame is not None
+
+    def mark_dirty_chunk(self, chunk_in_page: int) -> None:
+        self.dirty_mask |= 1 << chunk_in_page
+        self.page_dirty = True
+
+    def clear_dirty(self) -> None:
+        self.dirty_mask = 0
+        self.page_dirty = False
+
+    def dirty_chunks(self, chunks_per_page: int) -> tuple:
+        return tuple(
+            c for c in range(chunks_per_page) if self.dirty_mask & (1 << c)
+        )
+
+
+class MappingTable:
+    """All CXL-to-GPU mappings, addressed by CXL page number."""
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise AddressError("num_pages must be positive")
+        self.num_pages = num_pages
+        self._entries: Dict[int, MappingEntry] = {}
+
+    def entry(self, page: int) -> MappingEntry:
+        self._check(page)
+        state = self._entries.get(page)
+        if state is None:
+            state = MappingEntry()
+            self._entries[page] = state
+        return state
+
+    def is_resident(self, page: int) -> bool:
+        self._check(page)
+        state = self._entries.get(page)
+        return state is not None and state.resident
+
+    def map_page(self, page: int, frame: int) -> None:
+        entry = self.entry(page)
+        entry.frame = frame
+        entry.clear_dirty()
+
+    def unmap_page(self, page: int) -> MappingEntry:
+        """Remove residency; returns the entry (with its final dirty state)."""
+        entry = self.entry(page)
+        if not entry.resident:
+            raise AddressError(f"page {page} is not resident")
+        snapshot = MappingEntry(
+            frame=entry.frame,
+            dirty_mask=entry.dirty_mask,
+            page_dirty=entry.page_dirty,
+        )
+        entry.frame = None
+        entry.clear_dirty()
+        return snapshot
+
+    @staticmethod
+    def mapping_sector(page: int) -> int:
+        """Which mapping sector (32 B, 4 entries) holds this page's mapping."""
+        return page // MAPPINGS_PER_SECTOR
+
+    def _check(self, page: int) -> None:
+        if not 0 <= page < self.num_pages:
+            raise AddressError(
+                f"page {page} outside footprint of {self.num_pages} pages"
+            )

@@ -1,0 +1,136 @@
+"""Per-GPC mapping caches and the miss-handling control logic (Section IV-B).
+
+Every GPC's single interconnect connection is augmented with a 128-entry
+CXL-to-GPU mapping cache. Misses go to a dedicated control logic that reads
+mapping sectors from device memory, triggers page copies when the page is
+not resident, and tracks which caches may hold a translation so eviction
+invalidations are targeted.
+
+The control logic also owns a 32-entry :class:`DirtyBuffer` holding mappings
+whose dirty bitmask changed since last written to memory - writes hit the
+buffer for free, and only LRU evictions from the buffer cost a mapping-sector
+writeback (Section IV-A4's traffic optimization).
+
+These classes are structural (hit/miss, what-to-invalidate); the simulator
+books the resulting channel transactions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Set, Tuple
+
+from ..errors import ConfigError
+
+
+class MappingCache:
+    """A small fully-associative LRU cache of CXL-page -> frame mappings."""
+
+    def __init__(self, gpc_id: int, entries: int = 128) -> None:
+        if entries <= 0:
+            raise ConfigError("mapping cache needs at least one entry")
+        self.gpc_id = gpc_id
+        self.entries = entries
+        self._lru: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, page: int) -> Optional[int]:
+        frame = self._lru.get(page)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._lru.move_to_end(page)
+        self.hits += 1
+        return frame
+
+    def install(self, page: int, frame: int) -> None:
+        if page in self._lru:
+            self._lru.move_to_end(page)
+        elif len(self._lru) >= self.entries:
+            self._lru.popitem(last=False)
+        self._lru[page] = frame
+
+    def invalidate(self, page: int) -> bool:
+        """Drop a stale mapping; silent (dirty bits live elsewhere)."""
+        return self._lru.pop(page, None) is not None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DirtyBuffer:
+    """The 32-entry buffer of mappings with pending dirty-bit updates."""
+
+    def __init__(self, entries: int = 32) -> None:
+        if entries <= 0:
+            raise ConfigError("dirty buffer needs at least one entry")
+        self.entries = entries
+        self._lru: "OrderedDict[int, bool]" = OrderedDict()
+
+    def note_write(self, page: int) -> Tuple[bool, Optional[int]]:
+        """Record a write to ``page``'s dirty bitmask.
+
+        Returns ``(needed_fetch, evicted_page)``: ``needed_fetch`` is True
+        when the mapping was not buffered (the control logic must read it
+        from memory first), and ``evicted_page`` is the LRU mapping pushed
+        out to memory to make room (a mapping-sector writeback), if any.
+        """
+        if page in self._lru:
+            self._lru.move_to_end(page)
+            return False, None
+        evicted = None
+        if len(self._lru) >= self.entries:
+            evicted, _ = self._lru.popitem(last=False)
+        self._lru[page] = True
+        return True, evicted
+
+    def drop(self, page: int) -> bool:
+        """Remove a page (its dirty state was just consumed by an eviction)."""
+        return self._lru.pop(page, None) is not None
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+class MappingMissHandler:
+    """Control logic behind the mapping caches.
+
+    Tracks, per page, which GPC caches were handed the translation, so an
+    eviction invalidates only that subset (reducing invalidation traffic,
+    as the paper suggests). Also hosts the dirty buffer.
+    """
+
+    def __init__(self, num_gpcs: int, dirty_buffer_entries: int = 32) -> None:
+        if num_gpcs <= 0:
+            raise ConfigError("need at least one GPC")
+        self.caches = [MappingCache(g) for g in range(num_gpcs)]
+        self.dirty_buffer = DirtyBuffer(dirty_buffer_entries)
+        self._holders: dict = {}
+        self.invalidations_sent = 0
+
+    def cache_for(self, gpc: int) -> MappingCache:
+        return self.caches[gpc]
+
+    def record_fill(self, gpc: int, page: int, frame: int) -> None:
+        """A miss response was delivered to one GPC's cache."""
+        self.caches[gpc].install(page, frame)
+        self._holders.setdefault(page, set()).add(gpc)
+
+    def invalidate_page(self, page: int) -> int:
+        """Invalidate a just-evicted page in the caches that may hold it.
+
+        Returns how many invalidation messages were sent (traffic proxy).
+        """
+        holders: Set[int] = self._holders.pop(page, set())
+        sent = 0
+        for gpc in holders:
+            if self.caches[gpc].invalidate(page):
+                sent += 1
+        self.invalidations_sent += sent
+        return sent

@@ -1,0 +1,15 @@
+"""GPU front end and top-level simulator.
+
+The front end is deliberately simple - warp contexts that block on their
+outstanding memory access while the SM keeps issuing from other warps -
+because every result in the paper is a *ratio* between systems that share
+the front end. What must be faithful is the memory side: mapping caches,
+migration, sectored L2, and the security models, which
+:class:`~repro.gpu.gpusim.GpuSim` wires together.
+"""
+
+from .sm import StreamingMultiprocessor
+from .interconnect import Interconnect
+from .gpusim import GpuSim, RunResult
+
+__all__ = ["GpuSim", "Interconnect", "RunResult", "StreamingMultiprocessor"]

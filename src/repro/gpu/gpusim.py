@@ -1,0 +1,350 @@
+"""Top-level trace-driven simulator: wires every substrate together.
+
+One :class:`GpuSim` instance simulates one (configuration, security model,
+workload) triple. The per-request walk follows the paper's Section IV-B
+flow:
+
+1. the SM issues (warp-level latency hiding, :mod:`repro.gpu.sm`);
+2. the GPC's mapping cache translates the CXL address to a device frame;
+   a miss goes to the mapping-miss control logic (mapping-sector read), and
+   a non-resident page triggers a migration fill (plus a background victim
+   eviction);
+3. the interconnect routes by device address to the owning partition's L2
+   slice (sectored, MSHR-merged);
+4. an L2 miss books the data fetch on the partition channel and hands the
+   security model the chance to add its counter/Merkle/MAC legs;
+5. dirty L2 evictions invoke the model's posted writeback path.
+
+The security model is any :class:`~repro.security.model.TimingSecurityModel`;
+passing different models over the same trace and config is exactly how every
+figure of the paper is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from ..config import SystemConfig
+from ..cxl.mapping import MappingTable
+from ..cxl.mapping_cache import MappingMissHandler
+from ..errors import TraceError
+from ..memsys.l2cache import L2Slice
+from ..memsys.request import MemoryRequest
+from ..migration.dirty import DirtyTracker
+from ..migration.engine import MigrationEngine
+from ..migration.page_cache import PageCache
+from ..security.fabric import MemoryFabric
+from ..security.model import TimingSecurityModel
+from ..sim.stats import Side, StatRegistry, TrafficCategory
+from .interconnect import Interconnect
+from .sm import StreamingMultiprocessor
+
+MAPPING_SECTOR_BYTES = 32
+MAPPING_HIT_CYCLES = 2
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation exposes to the harness."""
+
+    model: str
+    workload: str
+    stats: StatRegistry
+    fills: int
+    evictions: int
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.final_cycle
+
+    def security_traffic(self) -> int:
+        return self.stats.security_bytes()
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary (CLI ``--json``, downstream analysis)."""
+        return {
+            "model": self.model,
+            "workload": self.workload,
+            "ipc": self.ipc,
+            "cycles": self.cycles,
+            "instructions": self.stats.instructions,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "traffic_bytes": self.stats.breakdown(),
+            "security_bytes": self.stats.security_bytes(),
+            "counters": {k: v for k, v in self.counters.items()},
+        }
+
+    def utilization(self, side: Side, fabric_busy: int) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return fabric_busy / self.cycles
+
+
+class GpuSim:
+    """Trace-driven simulation of one system configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        footprint_pages: int,
+        model_factory,
+    ) -> None:
+        """``model_factory(fabric) -> TimingSecurityModel`` builds the
+        security personality against this run's fabric."""
+        self.config = config
+        self.geometry = config.geometry
+        self.stats = StatRegistry()
+        self.fabric = MemoryFabric(config, footprint_pages, self.stats)
+        self.model: TimingSecurityModel = model_factory(self.fabric)
+
+        gpu = config.gpu
+        self.sms = [
+            StreamingMultiprocessor(i, gpu.warps_per_sm) for i in range(gpu.num_sms)
+        ]
+        self.interconnect = Interconnect(gpu.num_gpcs, gpu.interconnect_latency_cycles)
+        self.l2 = [
+            L2Slice(c, gpu, self.geometry.sector_bytes, self.geometry.block_bytes)
+            for c in range(gpu.num_channels)
+        ]
+        self.mapping = MappingTable(footprint_pages)
+        self.miss_handler = MappingMissHandler(gpu.num_gpcs)
+        self.dirty = DirtyTracker(self.geometry.chunks_per_page)
+        self.model.attach_dirty_tracker(self.dirty)
+        self.page_cache = PageCache(self.fabric.num_frames)
+        self.engine = MigrationEngine(
+            page_cache=self.page_cache,
+            mapping=self.mapping,
+            dirty=self.dirty,
+            fill_cb=self._fill_page,
+            evict_cb=self._evict_page,
+            evict_buffer_pages=gpu.evict_buffer_pages,
+        )
+        self._now = 0  # advances with issue order; used by posted eviction work
+        # Demand chunk-fill state (fill_granularity="chunk"): which chunks
+        # of each resident page have arrived, and in-flight chunk copies.
+        self._chunk_mode = gpu.fill_granularity == "chunk"
+        self._present_chunks: Dict[int, int] = {}
+        self._inflight_chunks: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ fills
+    def _fill_page(self, now: int, page: int, frame: int) -> int:
+        """Engine fill callback: whole-page copy, or lazy chunk arrival."""
+        if not self._chunk_mode:
+            return self.model.fill(now, page, frame)
+        # Chunk mode: the fault allocates the frame; data arrives per chunk
+        # on first access (including the faulting one, in _access_memory).
+        self._present_chunks[page] = 0
+        return now
+
+    def _ensure_chunk(self, now: int, loc) -> int:
+        """Chunk mode: guarantee the accessed chunk's data is in the frame."""
+        mask = self._present_chunks.get(loc.page, 0)
+        bit = 1 << loc.chunk_in_page
+        key = (loc.page, loc.chunk_in_page)
+        if mask & bit:
+            inflight = self._inflight_chunks.get(key)
+            if inflight is not None:
+                if inflight <= now:
+                    del self._inflight_chunks[key]
+                    return now
+                return inflight
+            return now
+        completion = self.model.fill_chunk(now, loc.page, loc.frame, loc.chunk_in_page)
+        self._present_chunks[loc.page] = mask | bit
+        self._inflight_chunks[key] = completion
+        self.stats.bump("chunk_fills")
+        return completion
+
+    # ------------------------------------------------------------------ eviction
+    def _evict_page(
+        self, now: int, page: int, frame: int,
+        dirty_chunks: Tuple[int, ...], page_dirty: bool,
+    ) -> int:
+        """Background eviction: flush the page's L2 lines, then let the
+        security model write the page (or its dirty chunks) back. Returns
+        the model's outbound drain time for writeback-buffer backpressure."""
+        geom = self.geometry
+        for block in range(geom.blocks_per_page):
+            chunk = block // geom.blocks_per_chunk
+            channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk)
+            evicted = self.l2[channel].cache.invalidate_line((page, block))
+            if evicted is None or not evicted.dirty_sectors:
+                continue
+            for sector in evicted.dirty_sectors:
+                cxl_addr = (
+                    page * geom.page_bytes
+                    + block * geom.block_bytes
+                    + sector * geom.sector_bytes
+                )
+                loc = self.fabric.locate(cxl_addr, frame)
+                self.fabric.device_write(
+                    now, loc.channel, geom.sector_bytes, TrafficCategory.DATA
+                )
+                self.model.writeback(now, loc)
+        self.miss_handler.invalidate_page(page)
+        if self._chunk_mode:
+            self._present_chunks.pop(page, None)
+        return self.model.evict(now, page, frame, dirty_chunks, page_dirty)
+
+    # ------------------------------------------------------------------ translation
+    def _translate(self, now: int, gpc: int, page: int) -> Tuple[int, int]:
+        """Mapping-cache lookup + residency guarantee.
+
+        Returns ``(frame, ready_cycle)`` - the device frame and when both the
+        translation and the page's data are usable.
+        """
+        cache = self.miss_handler.cache_for(gpc)
+        cached_frame = cache.lookup(page)
+        if cached_frame is not None:
+            frame, fill_ready = self.engine.ensure_resident(now, page)
+            return frame, max(now + MAPPING_HIT_CYCLES, fill_ready)
+        # Miss: the control logic reads the mapping sector from device memory
+        # and, if the page is absent, starts the copy (Section IV-B).
+        map_channel = (page // 4) % self.config.gpu.num_channels
+        map_ready = self.fabric.device_read(
+            now, map_channel, MAPPING_SECTOR_BYTES, TrafficCategory.MAPPING,
+            priority=True,
+        )
+        frame, fill_ready = self.engine.ensure_resident(now, page)
+        self.miss_handler.record_fill(gpc, page, frame)
+        return frame, max(map_ready, fill_ready)
+
+    # ------------------------------------------------------------------ L2 + memory
+    def _handle_l2_evictions(self, now: int, evicted) -> None:
+        if evicted is None or not evicted.dirty_sectors:
+            return
+        page, block = evicted.line_addr
+        frame = self.page_cache.frame_of(page)
+        if frame is None:
+            # The owning page left device memory and its flush already wrote
+            # these sectors; nothing further to account.
+            return
+        geom = self.geometry
+        for sector in evicted.dirty_sectors:
+            cxl_addr = (
+                page * geom.page_bytes
+                + block * geom.block_bytes
+                + sector * geom.sector_bytes
+            )
+            loc = self.fabric.locate(cxl_addr, frame)
+            self.fabric.device_write(
+                now, loc.channel, geom.sector_bytes, TrafficCategory.DATA
+            )
+            self.model.writeback(now, loc)
+
+    def _access_memory(self, now: int, req: MemoryRequest, frame: int) -> int:
+        geom = self.geometry
+        loc = self.fabric.locate(req.cxl_addr, frame)
+        if self._chunk_mode:
+            # Writes also wait for the chunk (read-for-ownership: untouched
+            # sectors of a dirty chunk must hold valid ciphertext so the
+            # whole chunk can be written back later).
+            now = max(now, self._ensure_chunk(now, loc))
+        slice_ = self.l2[loc.channel]
+        block_in_page = (req.cxl_addr % geom.page_bytes) // geom.block_bytes
+        line_addr = (loc.page, block_in_page)
+        sector_in_block = geom.sector_in_block(req.cxl_addr)
+
+        if req.is_write:
+            self.model.on_store(now, loc)
+            result = slice_.access(line_addr, sector_in_block, write=True)
+            self._handle_l2_evictions(now, result.evicted)
+            # Stores retire through the store buffer; the warp does not wait
+            # for memory. Dirty data pays its security toll at writeback.
+            return now + self.config.gpu.l2_latency_cycles
+
+        result = slice_.access(line_addr, sector_in_block, write=False)
+        self._handle_l2_evictions(now, result.evicted)
+        if result.sector_hit:
+            return now + self.config.gpu.l2_latency_cycles
+        merged = slice_.inflight_completion(now, line_addr, sector_in_block)
+        if merged is not None:
+            return max(now + self.config.gpu.l2_latency_cycles, merged)
+        data_ready = self.fabric.device_read(
+            now, loc.channel, geom.sector_bytes, TrafficCategory.DATA,
+            priority=True,
+        )
+        completion = self.model.read_complete(now, loc, data_ready)
+        slice_.register_fill(now, line_addr, sector_in_block, completion)
+        return completion
+
+    # ------------------------------------------------------------------ main loop
+    def run(
+        self,
+        requests: Iterable[MemoryRequest],
+        compute_per_mem: int = 0,
+        workload_name: str = "trace",
+    ) -> RunResult:
+        """Process a trace to completion and return the collected results."""
+        gpu = self.config.gpu
+        block_instructions = 1 + max(0, compute_per_mem)
+        footprint_bytes = self.fabric.footprint_pages * self.geometry.page_bytes
+
+        for req in requests:
+            if not 0 <= req.cxl_addr < footprint_bytes:
+                raise TraceError(
+                    f"trace address {req.cxl_addr:#x} outside footprint "
+                    f"of {footprint_bytes} bytes"
+                )
+            sm = self.sms[req.sm % gpu.num_sms]
+            gpc = sm.sm_id // gpu.sms_per_gpc
+            warp = sm.pick_warp(req.warp)
+            t_issue = sm.issue(warp, block_instructions)
+            self._now = max(self._now, t_issue)
+
+            page = self.geometry.page_of(req.cxl_addr)
+            frame, ready = self._translate(t_issue, gpc, page)
+            t_mem = self.interconnect.traverse(ready, gpc)
+            completion = self._access_memory(t_mem, req, frame)
+            sm.complete(warp, completion)
+
+        final = max((sm.drain_cycle for sm in self.sms), default=0)
+        self.model.finalize(final)
+        self.stats.final_cycle = final
+        self.stats.instructions = sum(sm.instructions for sm in self.sms)
+        return self._result(workload_name)
+
+    def _result(self, workload_name: str) -> RunResult:
+        device_busy = sum(ch.busy_cycles for ch in self.fabric.channels)
+        num_ch = len(self.fabric.channels)
+        counters = {
+            "device_busy_cycles": device_busy,
+            "device_utilization": (
+                device_busy / (num_ch * self.stats.final_cycle)
+                if self.stats.final_cycle
+                else 0.0
+            ),
+            "cxl_busy_cycles": self.fabric.link.busy_cycles,
+            "cxl_utilization": (
+                self.fabric.link.busy_cycles / (2 * self.stats.final_cycle)
+                if self.stats.final_cycle
+                else 0.0
+            ),
+            "l2_hit_rate": (
+                sum(s.cache.hits for s in self.l2)
+                / max(1, sum(s.cache.hits + s.cache.misses for s in self.l2))
+            ),
+            "mapping_hit_rate": (
+                sum(c.hits for c in self.miss_handler.caches)
+                / max(
+                    1,
+                    sum(c.hits + c.misses for c in self.miss_handler.caches),
+                )
+            ),
+        }
+        counters.update(self.stats.counters)
+        return RunResult(
+            model=self.model.name,
+            workload=workload_name,
+            stats=self.stats,
+            fills=self.engine.fill_count,
+            evictions=self.engine.evict_count,
+            counters=counters,
+        )

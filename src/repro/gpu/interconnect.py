@@ -1,0 +1,34 @@
+"""SM-to-memory-partition interconnect.
+
+Requests cross the on-chip network between a GPC's port and the L2 slice of
+the owning memory partition (the routing decision that needs the CXL-to-GPU
+mapping first, Section IV-B). The model charges a fixed traversal latency
+plus a per-GPC injection-port serialization of one request per cycle, which
+is enough to surface GPC-port contention without simulating a topology.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+
+
+class Interconnect:
+    """Fixed-latency crossbar with per-GPC injection serialization."""
+
+    def __init__(self, num_gpcs: int, latency_cycles: int) -> None:
+        if num_gpcs <= 0:
+            raise ConfigError("need at least one GPC port")
+        if latency_cycles < 0:
+            raise ConfigError("latency must be non-negative")
+        self.latency_cycles = latency_cycles
+        self._port_free: List[int] = [0] * num_gpcs
+        self.requests = 0
+
+    def traverse(self, now: int, gpc: int) -> int:
+        """Inject a request at ``gpc``'s port; returns arrival at the slice."""
+        start = max(now, self._port_free[gpc])
+        self._port_free[gpc] = start + 1
+        self.requests += 1
+        return start + self.latency_cycles

@@ -1,0 +1,61 @@
+"""Streaming-multiprocessor front end: warp-level latency hiding.
+
+Each SM owns ``warps_per_sm`` warp contexts. A memory instruction issues
+when both the SM's issue slot and its warp are free; the warp then blocks
+until the memory system answers while the SM issues other warps' work. The
+SM's issue clock advances by the instruction block size (one memory
+instruction plus the workload's compute instructions per memory op), which
+yields the classic throughput behaviour: compute-bound when the per-warp
+compute block exceeds (memory latency / warps), memory-bound otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+
+
+class StreamingMultiprocessor:
+    """Issue bookkeeping for one SM."""
+
+    def __init__(self, sm_id: int, warps: int) -> None:
+        if warps <= 0:
+            raise ConfigError("an SM needs at least one warp context")
+        self.sm_id = sm_id
+        self.warps = warps
+        self.clock: int = 0
+        self.warp_ready: List[int] = [0] * warps
+        self.instructions: int = 0
+        self._next_warp = 0
+
+    def pick_warp(self, hint: int = None) -> int:
+        """Round-robin warp assignment (or honour a trace-provided hint)."""
+        if hint is not None:
+            return hint % self.warps
+        warp = self._next_warp
+        self._next_warp = (self._next_warp + 1) % self.warps
+        return warp
+
+    def issue(self, warp: int, block_instructions: int) -> int:
+        """Issue one instruction block on ``warp``; returns the issue cycle.
+
+        The block is the memory instruction plus its accompanying compute
+        instructions. The SM's issue slot is busy for the whole block (one
+        instruction per cycle); the warp must also be free.
+        """
+        if block_instructions <= 0:
+            raise ConfigError("block_instructions must be positive")
+        t_issue = max(self.clock, self.warp_ready[warp])
+        self.clock = t_issue + block_instructions
+        self.instructions += block_instructions
+        return t_issue
+
+    def complete(self, warp: int, cycle: int) -> None:
+        """The warp's outstanding memory access finished at ``cycle``."""
+        self.warp_ready[warp] = max(self.warp_ready[warp], cycle)
+
+    @property
+    def drain_cycle(self) -> int:
+        """When this SM's last work (issue or outstanding warp) finishes."""
+        return max(self.clock, max(self.warp_ready))

@@ -1,0 +1,39 @@
+"""Experiment harness: everything needed to regenerate the paper's figures.
+
+:mod:`repro.harness.runner` runs one (config, model, workload) triple;
+:mod:`repro.harness.experiments` defines each figure's sweep and returns the
+rows the paper plots; :mod:`repro.harness.report` renders them as aligned
+text tables for the benchmark output.
+"""
+
+from .runner import MODEL_NAMES, model_factory, run_benchmark, run_model
+from .experiments import (
+    AblationResult,
+    FigureResult,
+    run_ablation,
+    run_fig03_motivation,
+    run_fig10_ipc,
+    run_fig11_traffic,
+    run_fig12_bandwidth,
+    run_fig13_cxl_bw,
+    run_fig14_footprint,
+)
+from .report import format_table, geomean
+
+__all__ = [
+    "AblationResult",
+    "FigureResult",
+    "MODEL_NAMES",
+    "format_table",
+    "geomean",
+    "model_factory",
+    "run_ablation",
+    "run_benchmark",
+    "run_fig03_motivation",
+    "run_fig10_ipc",
+    "run_fig11_traffic",
+    "run_fig12_bandwidth",
+    "run_fig13_cxl_bw",
+    "run_fig14_footprint",
+    "run_model",
+]

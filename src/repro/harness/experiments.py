@@ -1,0 +1,327 @@
+"""Per-figure experiment definitions (paper Section V).
+
+Each ``run_figXX_*`` function sweeps exactly what the corresponding paper
+figure sweeps and returns a :class:`FigureResult` whose rows mirror the
+figure's bars/series. Paper-vs-measured numbers for each figure are recorded
+in EXPERIMENTS.md.
+
+Runs are cached per (config, benchmark, trace size, seed, model) within the
+process, because Figures 10, 11 and 12 are three views of the same three
+simulations per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..gpu.gpusim import RunResult
+from ..sim.stats import Side
+from ..workloads.suite import benchmark_names, build_trace
+from .report import format_table, geomean
+from .runner import run_model
+
+DEFAULT_ACCESSES = 40_000
+DEFAULT_SEED = 7
+
+_run_cache: Dict[tuple, RunResult] = {}
+
+
+def cached_run(
+    config: SystemConfig,
+    bench: str,
+    model: str,
+    n_accesses: int,
+    seed: int,
+) -> RunResult:
+    """Run (or reuse) one simulation."""
+    key = (config, bench, model, n_accesses, seed)
+    result = _run_cache.get(key)
+    if result is None:
+        trace = build_trace(
+            bench, n_accesses=n_accesses, seed=seed,
+            num_sms=config.gpu.num_sms, geometry=config.geometry,
+        )
+        result = run_model(config, trace, model)
+        _run_cache[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _run_cache.clear()
+
+
+@dataclass
+class FigureResult:
+    """Rows and summary statistics of one regenerated figure."""
+
+    figure: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        body = format_table(self.headers, self.rows, title=self.title)
+        if self.summary:
+            lines = [body, ""]
+            for k, v in self.summary.items():
+                lines.append(f"{k}: {v:.4f}")
+            return "\n".join(lines)
+        return body
+
+
+@dataclass
+class AblationResult(FigureResult):
+    pass
+
+
+def _benches(benchmarks: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    return tuple(benchmarks) if benchmarks else benchmark_names()
+
+
+# --------------------------------------------------------------------------- Fig 3
+def run_fig03_motivation(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Motivation: slowdown of location-tied security under migration.
+
+    Compares conventional security against the same model with *free*
+    migration security (paper: 2.04x geometric-mean slowdown).
+    """
+    config = config if config is not None else SystemConfig.bench()
+    result = FigureResult(
+        figure="fig03",
+        title="Fig. 3 - slowdown from location-tied security under migration",
+        headers=("benchmark", "ipc_baseline", "ipc_free_migration", "slowdown"),
+    )
+    slowdowns = []
+    for bench in _benches(benchmarks):
+        base = cached_run(config, bench, "baseline", n_accesses, seed)
+        free = cached_run(config, bench, "baseline-freemove", n_accesses, seed)
+        slowdown = free.ipc / base.ipc if base.ipc else float("nan")
+        slowdowns.append(slowdown)
+        result.rows.append((bench, base.ipc, free.ipc, slowdown))
+    result.summary["geomean_slowdown"] = geomean(slowdowns)
+    return result
+
+
+# --------------------------------------------------------------------------- Fig 10
+def run_fig10_ipc(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """IPC normalized to the no-security system (paper: +29.94% geomean)."""
+    config = config if config is not None else SystemConfig.bench()
+    result = FigureResult(
+        figure="fig10",
+        title="Fig. 10 - normalized IPC (baseline vs Salus, basis = no security)",
+        headers=("benchmark", "baseline", "salus", "improvement"),
+    )
+    improvements = []
+    for bench in _benches(benchmarks):
+        nosec = cached_run(config, bench, "nosec", n_accesses, seed)
+        base = cached_run(config, bench, "baseline", n_accesses, seed)
+        salus = cached_run(config, bench, "salus", n_accesses, seed)
+        base_norm = base.ipc / nosec.ipc
+        salus_norm = salus.ipc / nosec.ipc
+        improvement = salus_norm / base_norm
+        improvements.append(improvement)
+        result.rows.append((bench, base_norm, salus_norm, improvement))
+    result.summary["geomean_improvement"] = geomean(improvements)
+    result.summary["max_improvement"] = max(improvements)
+    return result
+
+
+# --------------------------------------------------------------------------- Fig 11
+def run_fig11_traffic(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Security traffic under Salus, normalized to baseline.
+
+    Paper: reduced by 52.03% on average (i.e. Salus at ~0.48x baseline).
+    """
+    config = config if config is not None else SystemConfig.bench()
+    result = FigureResult(
+        figure="fig11",
+        title="Fig. 11 - security traffic (Salus / baseline)",
+        headers=("benchmark", "baseline_MB", "salus_MB", "normalized"),
+    )
+    ratios = []
+    for bench in _benches(benchmarks):
+        base = cached_run(config, bench, "baseline", n_accesses, seed)
+        salus = cached_run(config, bench, "salus", n_accesses, seed)
+        b = base.stats.security_bytes()
+        s = salus.stats.security_bytes()
+        ratio = s / b if b else float("nan")
+        ratios.append(ratio)
+        result.rows.append((bench, b / 1e6, s / 1e6, ratio))
+    result.summary["mean_normalized_traffic"] = sum(ratios) / len(ratios)
+    result.summary["min_normalized_traffic"] = min(ratios)
+    return result
+
+
+# --------------------------------------------------------------------------- Fig 12
+def run_fig12_bandwidth(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Security share of each memory's bandwidth, Salus vs baseline.
+
+    Paper: Salus uses 14.92% less of the CXL bandwidth and 2.05% less of the
+    device bandwidth than the conventional design.
+    """
+    config = config if config is not None else SystemConfig.bench()
+    result = FigureResult(
+        figure="fig12",
+        title="Fig. 12 - security bandwidth usage (fraction of run, per side)",
+        headers=(
+            "benchmark",
+            "cxl_baseline", "cxl_salus",
+            "dev_baseline", "dev_salus",
+        ),
+    )
+    cxl_deltas = []
+    dev_deltas = []
+    link_bpc = config.gpu.cxl_bytes_per_cycle
+    dev_bpc = (
+        config.gpu.device_bytes_per_cycle_per_channel * config.gpu.num_channels
+    )
+    for bench in _benches(benchmarks):
+        base = cached_run(config, bench, "baseline", n_accesses, seed)
+        salus = cached_run(config, bench, "salus", n_accesses, seed)
+
+        def usage(res: RunResult, side: Side, capacity: float) -> float:
+            if res.cycles <= 0:
+                return 0.0
+            return res.stats.security_bytes(side) / (capacity * res.cycles)
+
+        row = (
+            bench,
+            usage(base, Side.CXL, link_bpc),
+            usage(salus, Side.CXL, link_bpc),
+            usage(base, Side.DEVICE, dev_bpc),
+            usage(salus, Side.DEVICE, dev_bpc),
+        )
+        result.rows.append(row)
+        cxl_deltas.append(row[1] - row[2])
+        dev_deltas.append(row[3] - row[4])
+    result.summary["mean_cxl_usage_reduction"] = sum(cxl_deltas) / len(cxl_deltas)
+    result.summary["mean_device_usage_reduction"] = sum(dev_deltas) / len(dev_deltas)
+    return result
+
+
+# --------------------------------------------------------------------------- Fig 13
+def run_fig13_cxl_bw(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    ratios: Sequence[float] = (1 / 32, 1 / 16, 1 / 8, 1 / 4),
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Sensitivity to the CXL:device bandwidth ratio.
+
+    Paper improvements: +32.79% (1/32), +29.94% (1/16), +32.90% (1/8),
+    +21.76% (1/4).
+    """
+    config = config if config is not None else SystemConfig.bench()
+    result = FigureResult(
+        figure="fig13",
+        title="Fig. 13 - sensitivity to CXL bandwidth (geomean over suite)",
+        headers=("cxl_bw_ratio", "baseline_norm", "salus_norm", "improvement"),
+    )
+    for ratio in ratios:
+        cfg = config.with_cxl_bw_ratio(ratio)
+        base_norms, salus_norms = [], []
+        for bench in _benches(benchmarks):
+            nosec = cached_run(cfg, bench, "nosec", n_accesses, seed)
+            base = cached_run(cfg, bench, "baseline", n_accesses, seed)
+            salus = cached_run(cfg, bench, "salus", n_accesses, seed)
+            base_norms.append(base.ipc / nosec.ipc)
+            salus_norms.append(salus.ipc / nosec.ipc)
+        g_base = geomean(base_norms)
+        g_salus = geomean(salus_norms)
+        result.rows.append((f"1/{round(1/ratio)}", g_base, g_salus, g_salus / g_base))
+        result.summary[f"improvement@1/{round(1/ratio)}"] = g_salus / g_base
+    return result
+
+
+# --------------------------------------------------------------------------- Fig 14
+def run_fig14_footprint(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    capacity_ratios: Sequence[float] = (0.20, 0.35, 0.50),
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Sensitivity to how much of the footprint fits in device memory.
+
+    Paper improvements: +51.64% (20%), +34.48% (35%), +26.83% (50%).
+    """
+    config = config if config is not None else SystemConfig.bench()
+    result = FigureResult(
+        figure="fig14",
+        title="Fig. 14 - sensitivity to device-capacity / footprint ratio",
+        headers=("capacity_ratio", "baseline_norm", "salus_norm", "improvement"),
+    )
+    for ratio in capacity_ratios:
+        cfg = config.with_capacity_ratio(ratio)
+        base_norms, salus_norms = [], []
+        for bench in _benches(benchmarks):
+            nosec = cached_run(cfg, bench, "nosec", n_accesses, seed)
+            base = cached_run(cfg, bench, "baseline", n_accesses, seed)
+            salus = cached_run(cfg, bench, "salus", n_accesses, seed)
+            base_norms.append(base.ipc / nosec.ipc)
+            salus_norms.append(salus.ipc / nosec.ipc)
+        g_base = geomean(base_norms)
+        g_salus = geomean(salus_norms)
+        result.rows.append((f"{ratio:.0%}", g_base, g_salus, g_salus / g_base))
+        result.summary[f"improvement@{ratio:.0%}"] = g_salus / g_base
+    return result
+
+
+# --------------------------------------------------------------------------- ablation
+def run_ablation(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> AblationResult:
+    """Contribution of each Salus optimization (DESIGN.md Section 5)."""
+    config = config if config is not None else SystemConfig.bench()
+    variants = (
+        ("baseline", "conventional"),
+        ("salus-unified", "unified metadata only"),
+        ("salus-nofoa", "full Salus minus fetch-on-access"),
+        ("salus-nocollapse", "full Salus minus collapsed counters"),
+        ("salus-coarsedirty", "full Salus minus fine dirty tracking"),
+        ("salus", "full Salus"),
+    )
+    result = AblationResult(
+        figure="ablation",
+        title="Ablation - normalized IPC and security traffic per variant",
+        headers=("variant", "description", "ipc_norm", "sec_traffic_MB"),
+    )
+    benches = _benches(benchmarks)
+    for model, desc in variants:
+        norms, traffic = [], 0.0
+        for bench in benches:
+            nosec = cached_run(config, bench, "nosec", n_accesses, seed)
+            run = cached_run(config, bench, model, n_accesses, seed)
+            norms.append(run.ipc / nosec.ipc)
+            traffic += run.stats.security_bytes() / 1e6
+        g = geomean(norms)
+        result.rows.append((model, desc, g, traffic))
+        result.summary[f"ipc_norm[{model}]"] = g
+    return result

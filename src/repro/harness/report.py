@@ -1,0 +1,56 @@
+"""Reporting helpers: geometric means and aligned text tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's summary statistic for IPC ratios."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render an aligned monospace table (what the benches print)."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    rendered: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def normalized(values: Dict[str, float], basis: str) -> Dict[str, float]:
+    """Normalize a {name: value} mapping to one of its entries."""
+    base = values[basis]
+    if base == 0:
+        raise ValueError(f"normalization basis {basis!r} is zero")
+    return {k: v / base for k, v in values.items()}

@@ -1,0 +1,89 @@
+"""Run one simulation: a (configuration, security model, workload) triple.
+
+The runner is the only place that knows how to build each security model, so
+benchmarks, tests and examples all say ``run_model(config, trace, "salus")``
+and get a :class:`~repro.gpu.gpusim.RunResult` back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import SalusConfig, SystemConfig
+from ..core.salus import SalusSecurityModel
+from ..errors import ConfigError
+from ..gpu.gpusim import GpuSim, RunResult
+from ..security.baseline import BaselineSecurityModel
+from ..security.fabric import MemoryFabric
+from ..security.none import NoSecurityModel
+from ..workloads.trace import Trace
+
+ModelFactory = Callable[[MemoryFabric], object]
+
+MODEL_NAMES = (
+    "nosec",
+    "baseline",
+    "baseline-freemove",
+    "salus",
+    "salus-unified",
+    "salus-nofoa",
+    "salus-nocollapse",
+    "salus-coarsedirty",
+)
+
+
+def model_factory(name: str) -> ModelFactory:
+    """Resolve a model name to its factory.
+
+    The ``salus-*`` variants are the ablations of DESIGN.md Section 5;
+    ``baseline-freemove`` is the Figure-3 comparison point (conventional
+    security whose *migration* operations are free).
+    """
+    if name == "nosec":
+        return NoSecurityModel
+    if name == "baseline":
+        return BaselineSecurityModel
+    if name == "baseline-freemove":
+        return lambda fabric: BaselineSecurityModel(fabric, free_migration_security=True)
+    if name == "salus":
+        return lambda fabric: SalusSecurityModel(fabric, SalusConfig.full())
+    if name == "salus-unified":
+        return lambda fabric: SalusSecurityModel(fabric, SalusConfig.unified_only())
+    if name == "salus-nofoa":
+        return lambda fabric: SalusSecurityModel(
+            fabric, SalusConfig(fetch_on_access=False)
+        )
+    if name == "salus-nocollapse":
+        return lambda fabric: SalusSecurityModel(
+            fabric, SalusConfig(collapsed_counters=False)
+        )
+    if name == "salus-coarsedirty":
+        return lambda fabric: SalusSecurityModel(
+            fabric, SalusConfig(fine_dirty_tracking=False)
+        )
+    raise ConfigError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+
+
+def run_model(config: SystemConfig, trace: Trace, model: str) -> RunResult:
+    """Simulate ``trace`` on ``config`` under the named security model."""
+    sim = GpuSim(
+        config=config,
+        footprint_pages=trace.footprint_pages,
+        model_factory=model_factory(model),
+    )
+    result = sim.run(
+        trace, compute_per_mem=trace.compute_per_mem, workload_name=trace.name
+    )
+    # Preserve the model *name* as requested (variants share class names).
+    result.model = model
+    return result
+
+
+def run_benchmark(
+    config: SystemConfig,
+    trace: Trace,
+    models: Optional[tuple] = None,
+) -> Dict[str, RunResult]:
+    """Run a trace under several models; returns {model: result}."""
+    models = models if models is not None else ("nosec", "baseline", "salus")
+    return {m: run_model(config, trace, m) for m in models}

@@ -1,0 +1,23 @@
+"""Memory-system substrate: channels, interleaving, sectored caches.
+
+These components model the GPU memory hierarchy of the paper's Table I
+machine at transaction granularity: per-channel bandwidth and queuing,
+sectored set-associative caches with MSHRs, and the 256 B fine-grained
+channel interleaving of Section II-D.
+"""
+
+from .channel import Channel, CryptoEngine
+from .interleave import Interleaver
+from .request import Access, MemoryRequest
+from .sectored_cache import SectoredCache
+from .l2cache import L2Slice
+
+__all__ = [
+    "Access",
+    "Channel",
+    "CryptoEngine",
+    "Interleaver",
+    "L2Slice",
+    "MemoryRequest",
+    "SectoredCache",
+]

@@ -1,0 +1,68 @@
+"""Per-partition L2 slice: a sectored cache plus MSHR merge tracking.
+
+Each memory partition (channel) owns one L2 slice, addressed with
+channel-local device block numbers (the paper's flipped translation routes
+requests by device address before L2, Section IV-B). MSHRs merge concurrent
+misses to the same in-flight sector so a burst of warp accesses to one
+sector pays the memory round trip once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..config import GPUConfig
+from ..errors import ConfigError
+from .sectored_cache import AccessResult, SectoredCache
+
+
+class L2Slice:
+    """One L2 slice bound to a memory partition."""
+
+    def __init__(self, channel_id: int, gpu: GPUConfig, sector_bytes: int, line_bytes: int) -> None:
+        if gpu.l2_slice_bytes < line_bytes * gpu.l2_ways:
+            raise ConfigError("L2 slice too small for its associativity")
+        self.channel_id = channel_id
+        self.cache = SectoredCache(
+            name=f"l2[{channel_id}]",
+            total_bytes=gpu.l2_slice_bytes,
+            ways=gpu.l2_ways,
+            line_bytes=line_bytes,
+            sector_bytes=sector_bytes,
+        )
+        self.max_mshrs = gpu.l2_mshrs_per_slice
+        # sector key -> completion time of the in-flight fill
+        self._mshrs: "OrderedDict[tuple, int]" = OrderedDict()
+        self.mshr_merges = 0
+
+    def access(self, local_block: int, sector_in_block: int, write: bool) -> AccessResult:
+        """Structural access; timing handled by the caller."""
+        return self.cache.access(local_block, sector_in_block, write=write)
+
+    # -- MSHR tracking -------------------------------------------------------
+    def inflight_completion(self, now: int, local_block: int, sector: int) -> Optional[int]:
+        """If this sector is already being fetched, return that completion."""
+        self._expire(now)
+        completion = self._mshrs.get((local_block, sector))
+        if completion is not None:
+            self.mshr_merges += 1
+        return completion
+
+    def register_fill(self, now: int, local_block: int, sector: int, completion: int) -> None:
+        """Record an outstanding fill so later misses can merge into it."""
+        self._expire(now)
+        if len(self._mshrs) >= self.max_mshrs:
+            # Structural hazard: drop the oldest entry. The merge opportunity
+            # is lost but correctness is unaffected (the late request simply
+            # re-fetches), matching how a full MSHR file stalls real hardware.
+            self._mshrs.popitem(last=False)
+        self._mshrs[(local_block, sector)] = completion
+
+    def _expire(self, now: int) -> None:
+        while self._mshrs:
+            key, completion = next(iter(self._mshrs.items()))
+            if completion <= now:
+                self._mshrs.popitem(last=False)
+            else:
+                break

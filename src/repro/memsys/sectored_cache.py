@@ -1,0 +1,200 @@
+"""A generic sectored, set-associative, write-back cache model.
+
+Volta's L1/L2 are sectored (128 B lines of four 32 B sectors) and the paper's
+metadata caches follow the same organization (Table II). One implementation
+serves all of them: lines are allocated whole, but validity and dirtiness
+are tracked per sector, so a miss fetches only the needed sector
+(allocate-on-fill).
+
+The model is purely structural - it answers hit/miss and reports evictions;
+timing is the caller's business.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass
+class EvictedLine:
+    """A victim line pushed out by an allocation."""
+
+    line_addr: Hashable
+    dirty_sectors: Tuple[int, ...]
+
+    @property
+    def was_dirty(self) -> bool:
+        return bool(self.dirty_sectors)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    sector_hit: bool
+    line_hit: bool
+    evicted: Optional[EvictedLine] = None
+
+
+@dataclass
+class _Line:
+    valid_mask: int = 0
+    dirty_mask: int = 0
+    tag_payload: object = None  # opaque per-line annotation (e.g. CXL tag)
+
+
+class SectoredCache:
+    """Set-associative sectored cache with per-set LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        total_bytes: int,
+        ways: int,
+        line_bytes: int,
+        sector_bytes: int,
+    ) -> None:
+        if total_bytes <= 0 or ways <= 0 or line_bytes <= 0 or sector_bytes <= 0:
+            raise ConfigError(f"{name}: all cache dimensions must be positive")
+        if line_bytes % sector_bytes != 0:
+            raise ConfigError(f"{name}: line_bytes must be a multiple of sector_bytes")
+        if total_bytes % (ways * line_bytes) != 0:
+            raise ConfigError(
+                f"{name}: total_bytes={total_bytes} must divide into "
+                f"{ways} ways of {line_bytes} B lines"
+            )
+        self.name = name
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.sectors_per_line = line_bytes // sector_bytes
+        self.num_sets = total_bytes // (ways * line_bytes)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def _set_for(self, line_addr: Hashable) -> OrderedDict:
+        return self._sets[hash(line_addr) % self.num_sets]
+
+    def _check_sector(self, sector: int) -> None:
+        if not 0 <= sector < self.sectors_per_line:
+            raise ConfigError(
+                f"{self.name}: sector {sector} outside line of "
+                f"{self.sectors_per_line} sectors"
+            )
+
+    # -- main interface ----------------------------------------------------------
+    def access(
+        self,
+        line_addr: Hashable,
+        sector: int,
+        write: bool = False,
+        tag_payload: object = None,
+    ) -> AccessResult:
+        """Access one sector; allocates line+sector on miss (allocate-on-fill).
+
+        On a write the sector is marked dirty. ``tag_payload`` annotates the
+        line (Salus stores the owning CXL page there); it is set on
+        allocation and left untouched on hits.
+        """
+        self._check_sector(sector)
+        cache_set = self._set_for(line_addr)
+        line = cache_set.get(line_addr)
+        evicted = None
+        if line is None:
+            line_hit = False
+            sector_hit = False
+            if len(cache_set) >= self.ways:
+                victim_addr, victim = cache_set.popitem(last=False)
+                evicted = EvictedLine(
+                    line_addr=victim_addr,
+                    dirty_sectors=self._mask_to_sectors(victim.dirty_mask),
+                )
+            line = _Line(tag_payload=tag_payload)
+            cache_set[line_addr] = line
+        else:
+            line_hit = True
+            sector_hit = bool(line.valid_mask & (1 << sector))
+            cache_set.move_to_end(line_addr)
+        line.valid_mask |= 1 << sector
+        if write:
+            line.dirty_mask |= 1 << sector
+        if sector_hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return AccessResult(sector_hit=sector_hit, line_hit=line_hit, evicted=evicted)
+
+    def probe(self, line_addr: Hashable, sector: int) -> bool:
+        """Non-destructive sector presence check (no LRU update)."""
+        self._check_sector(sector)
+        line = self._set_for(line_addr).get(line_addr)
+        return line is not None and bool(line.valid_mask & (1 << sector))
+
+    def line_payload(self, line_addr: Hashable) -> object:
+        """The opaque annotation stored with a resident line (None if absent)."""
+        line = self._set_for(line_addr).get(line_addr)
+        return None if line is None else line.tag_payload
+
+    def invalidate_sector(self, line_addr: Hashable, sector: int) -> bool:
+        """Drop one sector without writeback; returns True if it was dirty.
+
+        Used when a sector's backing state becomes dead (e.g. device-side
+        metadata of an evicted page, whose authority moved to the CXL side):
+        the dirty bit is discarded rather than flushed.
+        """
+        self._check_sector(sector)
+        line = self._set_for(line_addr).get(line_addr)
+        if line is None:
+            return False
+        bit = 1 << sector
+        was_dirty = bool(line.dirty_mask & bit)
+        line.valid_mask &= ~bit
+        line.dirty_mask &= ~bit
+        return was_dirty
+
+    def invalidate_line(self, line_addr: Hashable) -> Optional[EvictedLine]:
+        """Drop a line; returns its dirty sectors so the caller can write back."""
+        cache_set = self._set_for(line_addr)
+        line = cache_set.pop(line_addr, None)
+        if line is None:
+            return None
+        return EvictedLine(
+            line_addr=line_addr, dirty_sectors=self._mask_to_sectors(line.dirty_mask)
+        )
+
+    def flush_dirty(self) -> List[EvictedLine]:
+        """Drain every dirty line (end-of-run writeback accounting)."""
+        drained: List[EvictedLine] = []
+        for cache_set in self._sets:
+            for line_addr, line in cache_set.items():
+                if line.dirty_mask:
+                    drained.append(
+                        EvictedLine(
+                            line_addr=line_addr,
+                            dirty_sectors=self._mask_to_sectors(line.dirty_mask),
+                        )
+                    )
+                    line.dirty_mask = 0
+        return drained
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def _mask_to_sectors(mask: int) -> Tuple[int, ...]:
+        out = []
+        idx = 0
+        while mask:
+            if mask & 1:
+                out.append(idx)
+            mask >>= 1
+            idx += 1
+        return tuple(out)

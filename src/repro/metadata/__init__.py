@@ -1,0 +1,37 @@
+"""Security-metadata substrate.
+
+Implements every counter organization the paper discusses, the MAC-sector
+layout with the embedded-major slot, Bonsai Merkle trees (functional hashing
+plus a geometric model for the timing layer), the PSSM-style per-partition
+metadata address layout, and the sectored metadata caches of Table II.
+"""
+
+from .bmt import BMTGeometry, BonsaiMerkleTree
+from .counters import (
+    CollapsedCounterStore,
+    ConventionalSplitCounterStore,
+    CounterPair,
+    IncrementResult,
+    InterleavingFriendlyCounterStore,
+    MonolithicCounterStore,
+)
+from .layout import ConventionalLayout, SalusCXLLayout, SalusDeviceLayout
+from .mac_store import MacSector, MacStore
+from .cache import MetadataCaches
+
+__all__ = [
+    "BMTGeometry",
+    "BonsaiMerkleTree",
+    "CollapsedCounterStore",
+    "ConventionalLayout",
+    "ConventionalSplitCounterStore",
+    "CounterPair",
+    "IncrementResult",
+    "InterleavingFriendlyCounterStore",
+    "MacSector",
+    "MacStore",
+    "MetadataCaches",
+    "MonolithicCounterStore",
+    "SalusCXLLayout",
+    "SalusDeviceLayout",
+]

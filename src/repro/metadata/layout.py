@@ -1,0 +1,109 @@
+"""Metadata address layout (paper Section II-C, PSSM-style).
+
+Security metadata lives in a reserved region of each protected memory, and
+its addresses are pure functions of the data's channel-local address. The
+timing simulator needs exactly three functions per organization: which
+counter sector, which MAC sector, and which Merkle leaf cover a given data
+unit. Those index spaces also key the metadata caches.
+
+Three layouts exist:
+
+* :class:`ConventionalLayout` - baseline on both memory sides: a counter
+  sector covers 32 data sectors (1 KiB), a MAC sector covers one 128 B data
+  block, the BMT's leaves are the counter sectors.
+* :class:`SalusDeviceLayout` - Figure 4: a counter sector holds two chunk
+  groups (covers 512 B), MAC sectors unchanged, BMT leaves are the
+  device-side counter sectors.
+* :class:`SalusCXLLayout` - Figure 6: one collapsed counter sector per page
+  (covers 4 KiB), BMT leaves are pages. The 8x coarser leaf space is what
+  shrinks the CXL-side tree and its traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..address import Geometry
+from .bmt import BMTGeometry
+
+
+@dataclass(frozen=True)
+class ConventionalLayout:
+    """Baseline metadata index math over one memory's local sector space."""
+
+    geometry: Geometry
+    data_sectors: int  # local data sectors this memory side protects
+    sectors_per_counter: int = 32
+
+    def counter_sector(self, local_sector: int) -> int:
+        return local_sector // self.sectors_per_counter
+
+    def mac_sector(self, local_sector: int) -> int:
+        return local_sector // self.geometry.sectors_per_block
+
+    def bmt_leaf(self, local_sector: int) -> int:
+        return self.counter_sector(local_sector)
+
+    @property
+    def num_counter_sectors(self) -> int:
+        return max(1, -(-self.data_sectors // self.sectors_per_counter))
+
+    def bmt_geometry(self, arity: int = 8) -> BMTGeometry:
+        return BMTGeometry(num_leaves=self.num_counter_sectors, arity=arity)
+
+
+@dataclass(frozen=True)
+class SalusDeviceLayout:
+    """Salus device-side index math (interleaving-friendly groups)."""
+
+    geometry: Geometry
+    data_sectors: int
+    chunks_per_counter_sector: int = 2  # two Figure-4 groups per 32 B sector
+
+    def counter_sector(self, local_sector: int) -> int:
+        local_chunk = local_sector // self.geometry.sectors_per_chunk
+        return local_chunk // self.chunks_per_counter_sector
+
+    def group_in_sector(self, local_sector: int) -> int:
+        local_chunk = local_sector // self.geometry.sectors_per_chunk
+        return local_chunk % self.chunks_per_counter_sector
+
+    def mac_sector(self, local_sector: int) -> int:
+        return local_sector // self.geometry.sectors_per_block
+
+    def bmt_leaf(self, local_sector: int) -> int:
+        return self.counter_sector(local_sector)
+
+    @property
+    def num_counter_sectors(self) -> int:
+        sectors_covered = (
+            self.chunks_per_counter_sector * self.geometry.sectors_per_chunk
+        )
+        return max(1, -(-self.data_sectors // sectors_covered))
+
+    def bmt_geometry(self, arity: int = 8) -> BMTGeometry:
+        return BMTGeometry(num_leaves=self.num_counter_sectors, arity=arity)
+
+
+@dataclass(frozen=True)
+class SalusCXLLayout:
+    """Salus CXL-side index math (collapsed counters, one sector per page)."""
+
+    geometry: Geometry
+    data_sectors: int
+
+    def counter_sector(self, cxl_sector: int) -> int:
+        return cxl_sector // self.geometry.sectors_per_page
+
+    def mac_sector(self, cxl_sector: int) -> int:
+        return cxl_sector // self.geometry.sectors_per_block
+
+    def bmt_leaf(self, cxl_sector: int) -> int:
+        return self.counter_sector(cxl_sector)
+
+    @property
+    def num_counter_sectors(self) -> int:
+        return max(1, -(-self.data_sectors // self.geometry.sectors_per_page))
+
+    def bmt_geometry(self, arity: int = 8) -> BMTGeometry:
+        return BMTGeometry(num_leaves=self.num_counter_sectors, arity=arity)

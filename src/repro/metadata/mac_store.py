@@ -1,0 +1,91 @@
+"""MAC sectors with the embedded-major slot (paper Figure 5).
+
+A MAC sector is 32 bytes and holds the MACs of one 128 B data block: four
+56-bit sector MACs (4 x 56 = 224 bits), leaving exactly 32 spare bits. Salus
+uses that slack to embed the collapsed major counter of the owning chunk at
+transfer time, which is what removes all counter traffic from the link.
+
+:class:`MacSector` does exact bit-level packing (so the layout claim is
+checked by construction, not by comment), and :class:`MacStore` is a simple
+keyed container for a memory side's MAC region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+MAC_SECTOR_BYTES = 32
+MACS_PER_SECTOR = 4
+MAC_BITS = 56
+EMBED_BITS = 32
+
+
+@dataclass
+class MacSector:
+    """Four 56-bit sector MACs plus the 32-bit embedded-major slot."""
+
+    macs: List[int] = field(default_factory=lambda: [0] * MACS_PER_SECTOR)
+    embedded_major: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.macs) != MACS_PER_SECTOR:
+            raise ConfigError(f"MAC sector holds exactly {MACS_PER_SECTOR} MACs")
+        for mac in self.macs:
+            if not 0 <= mac < (1 << MAC_BITS):
+                raise ConfigError(f"MAC value {mac:#x} exceeds {MAC_BITS} bits")
+        if not 0 <= self.embedded_major < (1 << EMBED_BITS):
+            raise ConfigError("embedded major exceeds its 32-bit slot")
+
+    def pack(self) -> bytes:
+        """Serialize to exactly 32 bytes: 4 x 56-bit MACs then 32-bit major."""
+        value = 0
+        for mac in self.macs:
+            value = (value << MAC_BITS) | mac
+        value = (value << EMBED_BITS) | self.embedded_major
+        return value.to_bytes(MAC_SECTOR_BYTES, "big")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "MacSector":
+        if len(raw) != MAC_SECTOR_BYTES:
+            raise ConfigError(f"MAC sector must be {MAC_SECTOR_BYTES} bytes")
+        value = int.from_bytes(raw, "big")
+        embedded = value & ((1 << EMBED_BITS) - 1)
+        value >>= EMBED_BITS
+        macs = []
+        for _ in range(MACS_PER_SECTOR):
+            macs.append(value & ((1 << MAC_BITS) - 1))
+            value >>= MAC_BITS
+        macs.reverse()
+        return cls(macs=macs, embedded_major=embedded)
+
+
+class MacStore:
+    """MAC region of one memory side, keyed by data-block index."""
+
+    def __init__(self) -> None:
+        self._sectors: Dict[int, MacSector] = {}
+
+    def get(self, block_index: int) -> MacSector:
+        sector = self._sectors.get(block_index)
+        if sector is None:
+            sector = MacSector()
+            self._sectors[block_index] = sector
+        return sector
+
+    def peek(self, block_index: int) -> Optional[MacSector]:
+        return self._sectors.get(block_index)
+
+    def put(self, block_index: int, sector: MacSector) -> None:
+        self._sectors[block_index] = sector
+
+    def set_mac(self, block_index: int, sector_in_block: int, mac: int) -> None:
+        self.get(block_index).macs[sector_in_block] = mac
+
+    def get_mac(self, block_index: int, sector_in_block: int) -> int:
+        return self.get(block_index).macs[sector_in_block]
+
+    def items(self) -> Tuple[Tuple[int, MacSector], ...]:
+        return tuple(self._sectors.items())

@@ -1,0 +1,23 @@
+"""Dynamic page migration between CXL memory and GPU device memory.
+
+The GPU device memory acts as a page cache of the CXL expansion memory
+(paper Section III-B): hot pages are copied in on demand and cold pages are
+evicted in the background. This package owns residency state (which page is
+in which frame), victim selection, and fine-grained dirty tracking - the
+mechanisms every security model plugs into.
+"""
+
+from .dirty import DirtyTracker
+from .engine import MigrationEngine, MigrationEvent
+from .page_cache import PageCache
+from .policies import FIFOPolicy, LRUPolicy, ReplacementPolicy
+
+__all__ = [
+    "DirtyTracker",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MigrationEngine",
+    "MigrationEvent",
+    "PageCache",
+    "ReplacementPolicy",
+]

@@ -1,0 +1,55 @@
+"""Fine-granularity dirty tracking (paper Section IV-A4, after Kona).
+
+Conventional systems keep one dirty bit per page, so any write forces the
+whole page (and all its security metadata) back to the expansion memory on
+eviction. Salus tracks dirtiness at the interleaving-chunk granularity in
+the CXL-to-GPU mapping entries; only dirty chunks are collapsed,
+re-encrypted and written back.
+
+:class:`DirtyTracker` is the authoritative functional bitmask state, shared
+by all security models so that comparisons see identical write streams -
+models differ only in which *granularity* they consult at eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class DirtyTracker:
+    """Per-page chunk-granularity dirty bitmasks."""
+
+    def __init__(self, chunks_per_page: int) -> None:
+        if chunks_per_page <= 0:
+            raise ValueError("chunks_per_page must be positive")
+        self.chunks_per_page = chunks_per_page
+        self._masks: Dict[int, int] = {}
+
+    def mark(self, page: int, chunk_in_page: int) -> bool:
+        """Mark a chunk dirty; returns True if the bit was newly set."""
+        if not 0 <= chunk_in_page < self.chunks_per_page:
+            raise ValueError(
+                f"chunk {chunk_in_page} outside page of {self.chunks_per_page}"
+            )
+        mask = self._masks.get(page, 0)
+        bit = 1 << chunk_in_page
+        if mask & bit:
+            return False
+        self._masks[page] = mask | bit
+        return True
+
+    def is_page_dirty(self, page: int) -> bool:
+        """Conventional coarse view: was anything in the page written?"""
+        return self._masks.get(page, 0) != 0
+
+    def dirty_chunks(self, page: int) -> Tuple[int, ...]:
+        """Salus fine view: exactly which chunks were written."""
+        mask = self._masks.get(page, 0)
+        return tuple(c for c in range(self.chunks_per_page) if mask & (1 << c))
+
+    def dirty_count(self, page: int) -> int:
+        return bin(self._masks.get(page, 0)).count("1")
+
+    def clear(self, page: int) -> int:
+        """Reset a page's mask (on eviction); returns the old mask."""
+        return self._masks.pop(page, 0)

@@ -1,0 +1,147 @@
+"""Migration engine: orchestrates fills and evictions around the page cache.
+
+The engine connects residency state (:class:`~repro.migration.page_cache.PageCache`),
+dirty tracking, the mapping table, and two injected callbacks supplied by the
+simulator's security model:
+
+* ``fill_cb(now, page, frame) -> completion_cycle`` - move the page's data
+  (and whatever metadata the model requires) into device memory; the
+  faulting request waits for the returned cycle.
+* ``evict_cb(now, page, frame, dirty_chunks, page_dirty) -> drain_cycle`` -
+  background writeback of the victim. Nothing waits on it directly, but the
+  returned drain time feeds the finite victim-writeback buffer: once
+  ``evict_buffer_pages`` evictions are in flight, the next fill stalls until
+  the oldest drains. That backpressure is how heavyweight evictions (the
+  baseline's full page + metadata) slow fills down, exactly as a real
+  memory controller's finite write-pending queue would.
+
+The engine also merges concurrent faults to the same page: while a fill is
+in flight, later requests wait on the same completion instead of launching a
+second copy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..cxl.mapping import MappingTable
+from ..errors import SimulationError
+from .dirty import DirtyTracker
+from .page_cache import PageCache
+
+FillCallback = Callable[[int, int, int], int]
+EvictCallback = Callable[[int, int, int, Tuple[int, ...], bool], int]
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """Record of one completed migration, for tests and reporting."""
+
+    kind: str  # "fill" or "evict"
+    page: int
+    frame: int
+    cycle: int
+    dirty_chunks: Tuple[int, ...] = ()
+
+
+class MigrationEngine:
+    """Demand-fill, background-evict page migration."""
+
+    def __init__(
+        self,
+        page_cache: PageCache,
+        mapping: MappingTable,
+        dirty: DirtyTracker,
+        fill_cb: FillCallback,
+        evict_cb: EvictCallback,
+        evict_buffer_pages: int = 8,
+        record_events: bool = False,
+    ) -> None:
+        self.page_cache = page_cache
+        self.mapping = mapping
+        self.dirty = dirty
+        self._fill_cb = fill_cb
+        self._evict_cb = evict_cb
+        self._inflight_fills: Dict[int, int] = {}
+        self.evict_buffer_pages = max(1, evict_buffer_pages)
+        self._pending_evicts: "deque[int]" = deque()
+        self.events = [] if record_events else None
+        self.fill_count = 0
+        self.evict_count = 0
+        self.evict_stall_cycles = 0
+
+    def ensure_resident(self, now: int, page: int) -> Tuple[int, int]:
+        """Guarantee ``page`` is (becoming) resident.
+
+        Returns ``(frame, ready_cycle)``: the frame the page occupies and the
+        cycle at which its data is usable. For an already-resident page with
+        no in-flight fill, ``ready_cycle`` is ``now``.
+        """
+        frame = self.page_cache.frame_of(page)
+        if frame is not None:
+            self.page_cache.touch(page)
+            ready = self._inflight_fills.get(page)
+            if ready is not None:
+                if ready <= now:
+                    del self._inflight_fills[page]
+                    ready = now
+                return frame, max(now, ready)
+            return frame, now
+        return self._fault(now, page)
+
+    def _fault(self, now: int, page: int) -> Tuple[int, int]:
+        result = self.page_cache.fault(page)
+        if result.victim_page is not None:
+            self._evict(now, result.victim_page, result.victim_frame)
+        self.mapping.map_page(page, result.frame)
+        # Finite writeback buffer: stall the fill until there is room.
+        start = now
+        while self._pending_evicts and self._pending_evicts[0] <= now:
+            self._pending_evicts.popleft()
+        while len(self._pending_evicts) > self.evict_buffer_pages:
+            start = max(start, self._pending_evicts.popleft())
+        if start > now:
+            self.evict_stall_cycles += start - now
+        completion = self._fill_cb(start, page, result.frame)
+        if completion < start:
+            raise SimulationError("fill callback returned a past cycle")
+        self._inflight_fills[page] = completion
+        self.fill_count += 1
+        if self.events is not None:
+            self.events.append(
+                MigrationEvent(kind="fill", page=page, frame=result.frame, cycle=completion)
+            )
+        return result.frame, completion
+
+    def _evict(self, now: int, page: int, frame: int) -> None:
+        entry = self.mapping.unmap_page(page)
+        dirty_chunks = self.dirty.dirty_chunks(page)
+        page_dirty = self.dirty.is_page_dirty(page)
+        self.dirty.clear(page)
+        self._inflight_fills.pop(page, None)
+        drain = self._evict_cb(now, page, frame, dirty_chunks, page_dirty)
+        if drain is None:
+            drain = now
+        if drain > now:
+            self._pending_evicts.append(drain)
+        self.evict_count += 1
+        if self.events is not None:
+            self.events.append(
+                MigrationEvent(
+                    kind="evict",
+                    page=page,
+                    frame=frame,
+                    cycle=now,
+                    dirty_chunks=dirty_chunks,
+                )
+            )
+
+    def evict_now(self, now: int, page: int) -> None:
+        """Explicit eviction (used by tests and capacity-pressure hooks)."""
+        frame = self.page_cache.frame_of(page)
+        if frame is None:
+            raise SimulationError(f"cannot evict non-resident page {page}")
+        self.page_cache.evict(page)
+        self._evict(now, page, frame)

@@ -1,0 +1,105 @@
+"""Residency state of the device-memory page cache.
+
+Tracks the bijection between resident CXL pages and device frames, the free
+frame list, and recency (through a pluggable replacement policy). The page
+cache is purely structural; traffic and security consequences of a fill or
+eviction are the simulator's and security model's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .policies import LRUPolicy, ReplacementPolicy
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """Outcome of a page fault: the frame to fill and an evicted victim."""
+
+    frame: int
+    victim_page: Optional[int] = None
+    victim_frame: Optional[int] = None
+
+
+class PageCache:
+    """Device memory viewed as a fully-associative cache of CXL pages."""
+
+    def __init__(self, num_frames: int, policy: Optional[ReplacementPolicy] = None) -> None:
+        if num_frames <= 0:
+            raise SimulationError("page cache needs at least one frame")
+        self.num_frames = num_frames
+        self._policy = policy if policy is not None else LRUPolicy()
+        self._page_to_frame: Dict[int, int] = {}
+        self._frame_to_page: Dict[int, int] = {}
+        self._free_frames: List[int] = list(range(num_frames - 1, -1, -1))
+        self.fills = 0
+        self.evictions = 0
+
+    # -- queries ----------------------------------------------------------------
+    def frame_of(self, page: int) -> Optional[int]:
+        return self._page_to_frame.get(page)
+
+    def page_in(self, frame: int) -> Optional[int]:
+        return self._frame_to_page.get(frame)
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._page_to_frame
+
+    @property
+    def resident_pages(self) -> Tuple[int, ...]:
+        return tuple(self._page_to_frame)
+
+    @property
+    def free_frame_count(self) -> int:
+        return len(self._free_frames)
+
+    # -- operations ----------------------------------------------------------------
+    def touch(self, page: int) -> None:
+        """Record an access to a resident page (recency update)."""
+        if page not in self._page_to_frame:
+            raise SimulationError(f"touch on non-resident page {page}")
+        self._policy.on_access(page)
+
+    def fault(self, page: int) -> FaultResult:
+        """Make room for and install ``page``; returns frame and any victim.
+
+        If a free frame exists it is used; otherwise the policy's victim is
+        evicted and its frame recycled. The caller is responsible for the
+        victim's writeback (data and security) before reusing the frame's
+        contents.
+        """
+        if page in self._page_to_frame:
+            raise SimulationError(f"fault on already-resident page {page}")
+        victim_page = None
+        victim_frame = None
+        if self._free_frames:
+            frame = self._free_frames.pop()
+        else:
+            victim_page = self._policy.victim()
+            victim_frame = self._page_to_frame[victim_page]
+            self._remove(victim_page)
+            self.evictions += 1
+            frame = victim_frame
+        self._page_to_frame[page] = frame
+        self._frame_to_page[frame] = page
+        self._policy.on_insert(page)
+        self.fills += 1
+        return FaultResult(frame=frame, victim_page=victim_page, victim_frame=victim_frame)
+
+    def evict(self, page: int) -> int:
+        """Explicitly evict a resident page; returns the freed frame."""
+        if page not in self._page_to_frame:
+            raise SimulationError(f"evict on non-resident page {page}")
+        frame = self._page_to_frame[page]
+        self._remove(page)
+        self._free_frames.append(frame)
+        self.evictions += 1
+        return frame
+
+    def _remove(self, page: int) -> None:
+        frame = self._page_to_frame.pop(page)
+        self._frame_to_page.pop(frame)
+        self._policy.on_remove(page)

@@ -1,0 +1,89 @@
+"""Victim-selection policies for the device-memory page cache.
+
+The paper's DRAM-cache substrate evicts in the background to keep free
+frames available; which page to evict is a policy choice. LRU is the
+evaluation default; FIFO exists as a cheaper point of comparison and to let
+tests distinguish recency effects from pure capacity effects.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+from ..errors import SimulationError
+
+
+class ReplacementPolicy(ABC):
+    """Tracks resident pages and picks eviction victims."""
+
+    @abstractmethod
+    def on_insert(self, page: int) -> None:
+        """A page became resident."""
+
+    @abstractmethod
+    def on_access(self, page: int) -> None:
+        """A resident page was accessed."""
+
+    @abstractmethod
+    def on_remove(self, page: int) -> None:
+        """A page left device memory."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Choose a page to evict (must currently be resident)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked resident pages."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used victim selection."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_insert(self, page: int) -> None:
+        self._order[page] = None
+        self._order.move_to_end(page)
+
+    def on_access(self, page: int) -> None:
+        if page in self._order:
+            self._order.move_to_end(page)
+
+    def on_remove(self, page: int) -> None:
+        self._order.pop(page, None)
+
+    def victim(self) -> int:
+        if not self._order:
+            raise SimulationError("no resident pages to evict")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out victim selection (insertion order, no recency)."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_insert(self, page: int) -> None:
+        if page not in self._order:
+            self._order[page] = None
+
+    def on_access(self, page: int) -> None:
+        pass  # FIFO ignores recency by definition
+
+    def on_remove(self, page: int) -> None:
+        self._order.pop(page, None)
+
+    def victim(self) -> int:
+        if not self._order:
+            raise SimulationError("no resident pages to evict")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)

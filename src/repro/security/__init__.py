@@ -1,0 +1,31 @@
+"""Security models for the timing simulator, plus the functional system.
+
+Three timing personalities plug into the GPU simulator:
+
+* :class:`~repro.security.none.NoSecurityModel` - the normalization basis of
+  Figure 10: identical memory system, zero security operations.
+* :class:`~repro.security.baseline.BaselineSecurityModel` - the conventional
+  design: metadata keyed to physical location, full decrypt/re-encrypt and
+  metadata transfer on every page move, page-granularity dirty tracking.
+* :class:`repro.core.salus.SalusSecurityModel` - the paper's contribution
+  (lives in :mod:`repro.core`).
+
+:mod:`repro.security.functional` implements the byte-accurate functional
+security system (real AES/MAC/Merkle) used to prove the security argument.
+"""
+
+from .fabric import MemoryFabric, SectorLoc
+from .functional import FunctionalSecureSystem, FunctionalStats
+from .model import TimingSecurityModel
+from .none import NoSecurityModel
+from .baseline import BaselineSecurityModel
+
+__all__ = [
+    "BaselineSecurityModel",
+    "FunctionalSecureSystem",
+    "FunctionalStats",
+    "MemoryFabric",
+    "NoSecurityModel",
+    "SectorLoc",
+    "TimingSecurityModel",
+]

@@ -1,0 +1,465 @@
+"""The conventional security model (the paper's baseline).
+
+Every memory unit - the GPU device memory and the CXL expansion memory -
+keeps its own security metadata, keyed to *local physical addresses*
+(Section II-C, PSSM-style): split counters (one 32-bit major shared by 32
+seven-bit minors, covering 1 KiB), one MAC sector per 128 B block, and a
+local Bonsai Merkle tree over the counter region.
+
+Because metadata is location-bound, every page migration pays the full
+toll the paper's motivation quantifies as a 2.04x slowdown (Figure 3):
+
+* **fill** (CXL -> device): read the page's CXL counters, MACs and Merkle
+  proof over the narrow link, decrypt all 128 sectors, re-encrypt them under
+  device-local counters (incrementing minors; overflows re-encrypt their
+  whole 1 KiB span), write device counters/MACs and update the device tree;
+* **evict** (device -> CXL): the mirror image, gated by a page-granularity
+  dirty bit, so one dirty byte writes back 4 KiB of data plus metadata.
+
+``free_migration_security=True`` removes the security work from both
+migration directions while keeping the demand path protected - the "no
+security overheads due to data movement" comparison of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..metadata.counters import ConventionalSplitCounterStore
+from ..metadata.layout import ConventionalLayout
+from ..sim.stats import TrafficCategory
+from .fabric import MemoryFabric, SectorLoc
+from .model import TimingSecurityModel
+
+
+class BaselineSecurityModel(TimingSecurityModel):
+    """Location-keyed metadata on both memory sides."""
+
+    name = "baseline"
+
+    def __init__(self, fabric: MemoryFabric, free_migration_security: bool = False) -> None:
+        super().__init__(fabric)
+        self.free_migration_security = free_migration_security
+        geom = self.geometry
+        gpu = self.config.gpu
+
+        device_sectors_per_channel = max(
+            geom.sectors_per_chunk,
+            fabric.num_frames * geom.sectors_per_page // gpu.num_channels,
+        )
+        self._dev_layout = ConventionalLayout(
+            geometry=geom, data_sectors=device_sectors_per_channel
+        )
+        self._dev_bmt = self._dev_layout.bmt_geometry(self.config.security.bmt_arity)
+        self._dev_counters: Dict[int, ConventionalSplitCounterStore] = {
+            c: ConventionalSplitCounterStore(
+                minor_bits=self.config.security.minor_counter_bits
+            )
+            for c in range(gpu.num_channels)
+        }
+
+        cxl_sectors = fabric.footprint_pages * geom.sectors_per_page
+        self._cxl_layout = ConventionalLayout(geometry=geom, data_sectors=cxl_sectors)
+        self._cxl_bmt = self._cxl_layout.bmt_geometry(self.config.security.bmt_arity)
+        self._cxl_counters = ConventionalSplitCounterStore(
+            minor_bits=self.config.security.minor_counter_bits
+        )
+
+    # ------------------------------------------------------------------ demand
+    def read_complete(self, now: int, loc: SectorLoc, data_ready: int) -> int:
+        fabric = self.fabric
+        ch = loc.channel
+        caches = fabric.device_meta[ch]
+        read_fn = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.COUNTER, priority=True
+        )
+        wb_fn = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+
+        ctr_unit = self._dev_layout.counter_sector(loc.local_sector)
+        ctr_ready, ctr_hit = fabric.metadata_access(
+            now, caches.counter, ctr_unit, read_fn, wb_fn, TrafficCategory.COUNTER
+        )
+        if not ctr_hit:
+            # Freshly fetched counters must be verified against the channel's
+            # local Merkle tree before their OTP may be trusted.
+            bmt_read = lambda t, n: fabric.device_read(
+                t, ch, n, TrafficCategory.BMT, priority=True
+            )
+            bmt_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
+            ctr_ready = max(
+                ctr_ready,
+                fabric.bmt_read_walk(
+                    now, caches.bmt, self._dev_bmt, ctr_unit, bmt_read, bmt_wb
+                ),
+            )
+        otp_ready = fabric.aes_engines[ch].book(ctr_ready)
+
+        mac_read = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.MAC, priority=True
+        )
+        mac_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
+        mac_unit = self._dev_layout.mac_sector(loc.local_sector)
+        mac_ready, _ = fabric.metadata_access(
+            now, caches.mac, mac_unit, mac_read, mac_wb, TrafficCategory.MAC
+        )
+
+        plaintext_ready = max(data_ready, otp_ready) + 1
+        verified = fabric.mac_engines[ch].book(max(data_ready, mac_ready))
+        return max(plaintext_ready, verified)
+
+    def writeback(self, now: int, loc: SectorLoc) -> None:
+        """Posted: counter++, re-encrypt, MAC update, tree update."""
+        fabric = self.fabric
+        ch = loc.channel
+        caches = fabric.device_meta[ch]
+        store = self._dev_counters[ch]
+
+        result = store.increment(loc.local_sector)
+        if result.overflowed:
+            self._reencrypt_device_span(now, ch, len(result.reencrypt_units))
+
+        ctr_read = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.COUNTER, critical=False
+        )
+        ctr_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        ctr_unit = self._dev_layout.counter_sector(loc.local_sector)
+        fabric.metadata_access(
+            now, caches.counter, ctr_unit, ctr_read, ctr_wb,
+            TrafficCategory.COUNTER, write=True,
+        )
+        fabric.aes_engines[ch].book(now)
+        mac_read = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.MAC, critical=False
+        )
+        mac_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
+        fabric.metadata_access(
+            now, caches.mac, self._dev_layout.mac_sector(loc.local_sector),
+            mac_read, mac_wb, TrafficCategory.MAC, write=True,
+        )
+        fabric.mac_engines[ch].book(now)
+        bmt_read = lambda t, n: fabric.device_read(
+            t, ch, n, TrafficCategory.BMT, critical=False
+        )
+        bmt_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
+        fabric.bmt_update_walk(
+            now, caches.bmt, self._dev_bmt, ctr_unit, bmt_read, bmt_wb
+        )
+
+    def _reencrypt_device_span(self, now: int, channel: int, sectors: int) -> None:
+        """A minor overflow re-encrypts the whole span its major covers."""
+        nbytes = sectors * self.geometry.sector_bytes
+        self.stats.bump("baseline.ctr_overflow_reencrypts")
+        read_done = self.fabric.device_read(
+            now, channel, nbytes, TrafficCategory.REENC_DATA, critical=False
+        )
+        self.fabric.aes_engines[channel].book(read_done, sectors)
+        self.fabric.device_write(read_done, channel, nbytes, TrafficCategory.REENC_DATA)
+
+    # ------------------------------------------------------------------ migration
+    def fill(self, now: int, page: int, frame: int) -> int:
+        geom = self.geometry
+        fabric = self.fabric
+        if self.free_migration_security:
+            _, install_done = self._copy_page_to_device(now, page, frame)
+            return install_done
+        self.stats.bump("baseline.secure_fills")
+        # Ciphertext streams over the link in parallel with the metadata legs
+        # below, but it cannot be installed into device memory until it has
+        # been decrypted (CXL counters) and re-encrypted (device counters) -
+        # the location-tied-metadata cost this model exists to measure.
+        link_ready = fabric.link_read(
+            now, geom.page_bytes, TrafficCategory.DATA
+        )
+
+        # 1. Fetch and verify the page's CXL-side counters and MACs. Each
+        #    metadata sector is an individual memory transaction (this is
+        #    how the conventional design issues them - through the regular
+        #    memory request path), but all of a page's requests issue
+        #    together, so the counter verification walks share ancestors in
+        #    the BMT cache - the bulk-verify locality the paper credits the
+        #    baseline with.
+        link_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.COUNTER)
+        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        bmt_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT)
+        bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+        meta_ready = now
+        base_sector = page * geom.sectors_per_page
+        ctr_units = sorted(
+            {
+                self._cxl_layout.counter_sector(base_sector + s)
+                for s in range(geom.sectors_per_page)
+            }
+        )
+        for unit in ctr_units:
+            ready, hit = fabric.metadata_access(
+                now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+                TrafficCategory.COUNTER,
+            )
+            if not hit:
+                ready = max(
+                    ready,
+                    fabric.bmt_read_walk(
+                        now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd, bmt_wr
+                    ),
+                )
+            meta_ready = max(meta_ready, ready)
+        mac_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.MAC)
+        mac_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.MAC)
+        mac_base = self._cxl_layout.mac_sector(base_sector)
+        for block in range(geom.blocks_per_page):
+            ready, _ = fabric.metadata_access(
+                now, fabric.cxl_meta.mac, mac_base + block, mac_rd, mac_wr,
+                TrafficCategory.MAC,
+            )
+            meta_ready = max(meta_ready, ready)
+
+        # 2. Decrypt with CXL counters and re-encrypt with device counters:
+        #    each owning partition pipes its chunk's sectors twice. Only the
+        #    re-encrypted ciphertext may be written to device memory, so the
+        #    data installs chain behind the crypto.
+        crypto_start = max(link_ready, meta_ready)
+        crypto_done = crypto_start
+        spc = geom.sectors_per_chunk
+        install_done = crypto_start
+        for chunk in range(geom.chunks_per_page):
+            channel, _ = fabric.interleaver.device_chunk_location(frame, chunk)
+            done = fabric.aes_engines[channel].book(crypto_start, 2 * spc)
+            fabric.mac_engines[channel].book(crypto_start, spc)
+            crypto_done = max(crypto_done, done)
+            wrote = fabric.device_write(
+                done, channel, geom.chunk_bytes, TrafficCategory.DATA
+            )
+            install_done = max(install_done, wrote)
+
+        # 3. Install device-side counters (every sector is a write here),
+        #    MACs and tree updates.
+        for chunk in range(geom.chunks_per_page):
+            channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
+            caches = fabric.device_meta[channel]
+            store = self._dev_counters[channel]
+            local_base = local_chunk * spc
+            for s in range(spc):
+                result = store.increment(local_base + s)
+                if result.overflowed:
+                    self._reencrypt_device_span(now, channel, len(result.reencrypt_units))
+            ctr_rd = lambda t, n, _c=channel: fabric.device_read(
+                t, _c, n, TrafficCategory.COUNTER, critical=False
+            )
+            ctr_wr = lambda t, n, _c=channel: fabric.device_write(
+                t, _c, n, TrafficCategory.COUNTER
+            )
+            ctr_unit = self._dev_layout.counter_sector(local_base)
+            fabric.metadata_access(
+                now, caches.counter, ctr_unit, ctr_rd, ctr_wr,
+                TrafficCategory.COUNTER, write=True,
+            )
+            mac_rd2 = lambda t, n, _c=channel: fabric.device_read(
+                t, _c, n, TrafficCategory.MAC, critical=False
+            )
+            mac_wr2 = lambda t, n, _c=channel: fabric.device_write(
+                t, _c, n, TrafficCategory.MAC
+            )
+            for block in range(geom.blocks_per_chunk):
+                unit = self._dev_layout.mac_sector(local_base) + block
+                fabric.metadata_access(
+                    now, caches.mac, unit, mac_rd2, mac_wr2,
+                    TrafficCategory.MAC, write=True,
+                )
+            bmt_rd2 = lambda t, n, _c=channel: fabric.device_read(
+                t, _c, n, TrafficCategory.BMT, critical=False
+            )
+            bmt_wr2 = lambda t, n, _c=channel: fabric.device_write(
+                t, _c, n, TrafficCategory.BMT
+            )
+            fabric.bmt_update_walk(
+                now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd2, bmt_wr2
+            )
+
+        return max(install_done, crypto_done)
+
+    def fill_chunk(self, now: int, page: int, frame: int, chunk_in_page: int) -> int:
+        """Demand chunk fill with location-tied metadata: even a single
+        256 B chunk drags its CXL counters/MACs across, gets decrypted and
+        re-encrypted, and installs device-side metadata."""
+        if self.free_migration_security:
+            return super().fill_chunk(now, page, frame, chunk_in_page)
+        geom = self.geometry
+        fabric = self.fabric
+        self.stats.bump("baseline.secure_chunk_fills")
+        link_ready = fabric.link_read(now, geom.chunk_bytes, TrafficCategory.DATA)
+
+        # CXL metadata for this chunk.
+        base_sector = page * geom.sectors_per_page + chunk_in_page * geom.sectors_per_chunk
+        link_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.COUNTER)
+        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        ctr_unit = self._cxl_layout.counter_sector(base_sector)
+        meta_ready, hit = fabric.metadata_access(
+            now, fabric.cxl_meta.counter, ctr_unit, link_rd, link_wr,
+            TrafficCategory.COUNTER,
+        )
+        if not hit:
+            bmt_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT)
+            bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+            meta_ready = max(
+                meta_ready,
+                fabric.bmt_read_walk(
+                    now, fabric.cxl_meta.bmt, self._cxl_bmt, ctr_unit, bmt_rd, bmt_wr
+                ),
+            )
+        mac_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.MAC)
+        mac_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.MAC)
+        for block in range(geom.blocks_per_chunk):
+            unit = self._cxl_layout.mac_sector(base_sector) + block
+            ready, _ = fabric.metadata_access(
+                now, fabric.cxl_meta.mac, unit, mac_rd, mac_wr, TrafficCategory.MAC
+            )
+            meta_ready = max(meta_ready, ready)
+
+        # Decrypt + re-encrypt the chunk, install device metadata.
+        channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk_in_page)
+        spc = geom.sectors_per_chunk
+        crypto_start = max(link_ready, meta_ready)
+        crypto_done = fabric.aes_engines[channel].book(crypto_start, 2 * spc)
+        fabric.mac_engines[channel].book(crypto_start, spc)
+        caches = fabric.device_meta[channel]
+        store = self._dev_counters[channel]
+        local_base = local_chunk * spc
+        for s in range(spc):
+            result = store.increment(local_base + s)
+            if result.overflowed:
+                self._reencrypt_device_span(now, channel, len(result.reencrypt_units))
+        dev_rd = lambda t, n: fabric.device_read(
+            t, channel, n, TrafficCategory.COUNTER, critical=False
+        )
+        dev_wr = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.COUNTER)
+        dev_ctr_unit = self._dev_layout.counter_sector(local_base)
+        fabric.metadata_access(
+            now, caches.counter, dev_ctr_unit, dev_rd, dev_wr,
+            TrafficCategory.COUNTER, write=True,
+        )
+        mac_rd2 = lambda t, n: fabric.device_read(
+            t, channel, n, TrafficCategory.MAC, critical=False
+        )
+        mac_wr2 = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.MAC)
+        for block in range(geom.blocks_per_chunk):
+            fabric.metadata_access(
+                now, caches.mac, self._dev_layout.mac_sector(local_base) + block,
+                mac_rd2, mac_wr2, TrafficCategory.MAC, write=True,
+            )
+        bmt_rd2 = lambda t, n: fabric.device_read(
+            t, channel, n, TrafficCategory.BMT, critical=False
+        )
+        bmt_wr2 = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.BMT)
+        fabric.bmt_update_walk(
+            now, caches.bmt, self._dev_bmt, dev_ctr_unit, bmt_rd2, bmt_wr2
+        )
+        wrote = fabric.device_write(
+            crypto_done, channel, geom.chunk_bytes, TrafficCategory.DATA
+        )
+        return max(crypto_done, wrote)
+
+    def evict(
+        self, now: int, page: int, frame: int,
+        dirty_chunks: Tuple[int, ...], page_dirty: bool,
+    ) -> int:
+        if not page_dirty:
+            # Device-side metadata for the page is simply discarded.
+            self._drop_device_page_metadata(frame)
+            return now
+        geom = self.geometry
+        fabric = self.fabric
+        all_chunks = tuple(range(geom.chunks_per_page))
+        drain = self._copy_chunks_to_cxl(now, frame, all_chunks)
+        if self.free_migration_security:
+            return drain
+        self.stats.bump("baseline.secure_evictions")
+        spc = geom.sectors_per_chunk
+
+        # 1. Read and verify device-side metadata, decrypt, re-encrypt with
+        #    CXL counters (every sector writes back under the coarse bit).
+        base_sector = page * geom.sectors_per_page
+        for chunk in all_chunks:
+            channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
+            caches = fabric.device_meta[channel]
+            local_base = local_chunk * spc
+            ctr_rd = lambda t, n, _c=channel: fabric.device_read(
+                t, _c, n, TrafficCategory.COUNTER, critical=False
+            )
+            ctr_wr = lambda t, n, _c=channel: fabric.device_write(
+                t, _c, n, TrafficCategory.COUNTER
+            )
+            ctr_unit = self._dev_layout.counter_sector(local_base)
+            _, ctr_hit = fabric.metadata_access(
+                now, caches.counter, ctr_unit, ctr_rd, ctr_wr, TrafficCategory.COUNTER
+            )
+            if not ctr_hit:
+                bmt_rd = lambda t, n, _c=channel: fabric.device_read(
+                    t, _c, n, TrafficCategory.BMT, critical=False
+                )
+                bmt_wr = lambda t, n, _c=channel: fabric.device_write(
+                    t, _c, n, TrafficCategory.BMT
+                )
+                fabric.bmt_read_walk(
+                    now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd, bmt_wr
+                )
+            mac_rd = lambda t, n, _c=channel: fabric.device_read(
+                t, _c, n, TrafficCategory.MAC, critical=False
+            )
+            mac_wr = lambda t, n, _c=channel: fabric.device_write(
+                t, _c, n, TrafficCategory.MAC
+            )
+            for block in range(geom.blocks_per_chunk):
+                unit = self._dev_layout.mac_sector(local_base) + block
+                fabric.metadata_access(
+                    now, caches.mac, unit, mac_rd, mac_wr, TrafficCategory.MAC
+                )
+            fabric.aes_engines[channel].book(now, 2 * spc)
+            fabric.mac_engines[channel].book(now, spc)
+
+        # 2. Advance CXL counters for every sector and write CXL metadata.
+        for s in range(geom.sectors_per_page):
+            result = self._cxl_counters.increment(base_sector + s)
+            if result.overflowed:
+                nbytes = len(result.reencrypt_units) * geom.sector_bytes
+                self.stats.bump("baseline.cxl_overflow_reencrypts")
+                self.fabric.link_read(now, nbytes, TrafficCategory.REENC_DATA, critical=False)
+                self.fabric.link_write(now, nbytes, TrafficCategory.REENC_DATA)
+        # The page's updated counter sectors and recomputed MACs write back
+        # as individual transactions through the metadata path, extending
+        # the eviction's outbound drain.
+        link_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.COUNTER, critical=False)
+        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        ctr_units = sorted(
+            {
+                self._cxl_layout.counter_sector(base_sector + s)
+                for s in range(geom.sectors_per_page)
+            }
+        )
+        bmt_rd2 = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT, critical=False)
+        bmt_wr2 = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+        for unit in ctr_units:
+            drain = max(
+                drain, fabric.link_write(now, 32, TrafficCategory.COUNTER)
+            )
+            fabric.metadata_access(
+                now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+                TrafficCategory.COUNTER,
+            )
+            fabric.bmt_update_walk(
+                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd2, bmt_wr2
+            )
+        for _ in range(geom.blocks_per_page):
+            drain = max(
+                drain, fabric.link_write(now, 32, TrafficCategory.MAC)
+            )
+        self._drop_device_page_metadata(frame)
+        return drain
+
+    # ------------------------------------------------------------------ lifecycle
+    def finalize(self, now: int) -> None:
+        categories = {
+            "counter": TrafficCategory.COUNTER,
+            "mac": TrafficCategory.MAC,
+            "bmt": TrafficCategory.BMT,
+        }
+        self.fabric.flush_metadata_caches(now, categories, categories)

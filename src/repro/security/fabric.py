@@ -1,0 +1,276 @@
+"""The memory fabric: every bookable resource, shared by all security models.
+
+One :class:`MemoryFabric` instance owns the device channels, the CXL link,
+the per-partition crypto engines, the per-partition (device-side) and
+expander-side metadata caches, and the interleaver. Security models never
+touch channels directly; they go through the fabric's booking helpers so
+traffic categorization and cache-writeback accounting are uniform.
+
+The fabric also precomputes the :class:`SectorLoc` for each request - the
+full coordinate set (CXL page/chunk/sector, device frame/channel/local slot)
+that the models key their metadata state on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..memsys.channel import Channel, CryptoEngine, LinkPair
+from ..memsys.interleave import Interleaver
+from ..metadata.bmt import BMTGeometry
+from ..metadata.cache import MetadataCaches
+from ..sim.stats import Side, StatRegistry, TrafficCategory
+
+BMT_NODE_BYTES = 64
+METADATA_UNIT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class SectorLoc:
+    """Full coordinates of one data sector in both address spaces."""
+
+    cxl_addr: int          # byte address in the CXL (home) space
+    page: int              # CXL page number
+    sector_in_page: int
+    chunk_in_page: int
+    sector_in_chunk: int
+    frame: int             # device frame holding the page
+    channel: int           # device channel owning the sector's chunk
+    local_sector: int      # channel-local sector slot
+    local_chunk: int       # channel-local chunk slot
+    device_chunk: int      # global device chunk id (frame-based)
+
+    @property
+    def local_block(self) -> int:
+        return self.local_sector // 4
+
+    @property
+    def cxl_sector(self) -> int:
+        return self.cxl_addr // 32
+
+
+class MemoryFabric:
+    """All shared timing resources of one simulated system."""
+
+    def __init__(self, config: SystemConfig, footprint_pages: int, stats: StatRegistry) -> None:
+        if footprint_pages <= 0:
+            raise SimulationError("footprint_pages must be positive")
+        self.config = config
+        self.geometry = config.geometry
+        self.stats = stats
+        self.footprint_pages = footprint_pages
+
+        gpu = config.gpu
+        per_channel_bw = gpu.device_bytes_per_cycle_per_channel
+        self.channels: List[Channel] = [
+            Channel(
+                name=f"hbm[{c}]",
+                bytes_per_cycle=per_channel_bw,
+                latency_cycles=gpu.dram_latency_cycles,
+                side=Side.DEVICE,
+                stats=stats,
+                overhead_cycles=gpu.device_access_overhead_cycles,
+            )
+            for c in range(gpu.num_channels)
+        ]
+        self.link = LinkPair(
+            bytes_per_cycle=gpu.cxl_bytes_per_cycle,
+            latency_cycles=gpu.cxl_latency_cycles,
+            stats=stats,
+            overhead_cycles=gpu.cxl_access_overhead_cycles,
+        )
+        sec = config.security
+        self.aes_engines = [
+            CryptoEngine(f"aes[{c}]", sec.aes_latency_cycles, sec.aes_pipe_interval_cycles)
+            for c in range(gpu.num_channels)
+        ]
+        self.mac_engines = [
+            CryptoEngine(f"mac[{c}]", sec.mac_latency_cycles, sec.aes_pipe_interval_cycles)
+            for c in range(gpu.num_channels)
+        ]
+        self.device_meta = [
+            MetadataCaches.build(c, sec) for c in range(gpu.num_channels)
+        ]
+        # The expander-side controller's metadata caches (one device).
+        self.cxl_meta = MetadataCaches.build(-1, sec)
+        self.interleaver = Interleaver(self.geometry, gpu.num_channels)
+
+        # Device frame count from the Figure-14 capacity ratio.
+        self.num_frames = max(
+            1, int(footprint_pages * config.device_capacity_ratio)
+        )
+
+    # -- coordinates ---------------------------------------------------------
+    def locate(self, cxl_addr: int, frame: int) -> SectorLoc:
+        geom = self.geometry
+        page = geom.page_of(cxl_addr)
+        sector_in_page = geom.sector_in_page(cxl_addr)
+        chunk_in_page = geom.chunk_in_page(cxl_addr)
+        sector_in_chunk = geom.sector_in_chunk(cxl_addr)
+        channel, local_chunk = self.interleaver.device_chunk_location(frame, chunk_in_page)
+        local_sector = local_chunk * geom.sectors_per_chunk + sector_in_chunk
+        device_chunk = frame * geom.chunks_per_page + chunk_in_page
+        return SectorLoc(
+            cxl_addr=cxl_addr,
+            page=page,
+            sector_in_page=sector_in_page,
+            chunk_in_page=chunk_in_page,
+            sector_in_chunk=sector_in_chunk,
+            frame=frame,
+            channel=channel,
+            local_sector=local_sector,
+            local_chunk=local_chunk,
+            device_chunk=device_chunk,
+        )
+
+    # -- raw bookings ----------------------------------------------------------
+    def device_read(
+        self, now: int, channel: int, nbytes: int, category: TrafficCategory,
+        critical: bool = True, priority: bool = False,
+    ) -> int:
+        return self.channels[channel].book(
+            now, nbytes, category, critical=critical, priority=priority
+        )
+
+    def device_write(
+        self, now: int, channel: int, nbytes: int, category: TrafficCategory
+    ) -> int:
+        return self.channels[channel].book(now, nbytes, category, critical=False)
+
+    def link_read(
+        self, now: int, nbytes: int, category: TrafficCategory,
+        critical: bool = True, priority: bool = False,
+    ) -> int:
+        """Read from the expander: data flows toward the device (RX)."""
+        return self.link.to_device.book(
+            now, nbytes, category, critical=critical, priority=priority
+        )
+
+    def link_write(
+        self, now: int, nbytes: int, category: TrafficCategory, critical: bool = False
+    ) -> int:
+        """Write toward the expander (TX); posted by default."""
+        return self.link.to_cxl.book(now, nbytes, category, critical=critical)
+
+    # -- metadata-through-cache helpers --------------------------------------------
+    def metadata_access(
+        self,
+        now: int,
+        cache,
+        unit: int,
+        read_fn: Callable[[int, int], int],
+        write_fn: Callable[[int, int], int],
+        category: TrafficCategory,
+        write: bool = False,
+        tag_payload: object = None,
+    ) -> int:
+        """Access one 32 B metadata unit through a sectored metadata cache.
+
+        ``read_fn(now, nbytes)`` books the fill on a miss and returns its
+        ready time; ``write_fn(now, nbytes)`` books posted writebacks of any
+        dirty sectors pushed out by the allocation. Returns
+        ``(ready_cycle, sector_hit)``.
+        """
+        result = cache.access(unit // 4, unit % 4, write=write, tag_payload=tag_payload)
+        ready = now
+        if not result.sector_hit:
+            ready = read_fn(now, METADATA_UNIT_BYTES)
+        if result.evicted is not None and result.evicted.dirty_sectors:
+            for _ in result.evicted.dirty_sectors:
+                write_fn(now, METADATA_UNIT_BYTES)
+        _ = category  # categorization is carried by the bound read/write fns
+        return ready, result.sector_hit
+
+    def bmt_read_walk(
+        self,
+        now: int,
+        cache,
+        geom: BMTGeometry,
+        leaf: int,
+        read_fn: Callable[[int, int], int],
+        write_fn: Callable[[int, int], int],
+    ) -> int:
+        """Verification walk from a counter leaf toward the on-chip root.
+
+        The walk stops at the first internal node already present in the BMT
+        cache (cached nodes were verified when fetched), so a warm cache
+        costs nothing. Each missing node is a 64 B read.
+        """
+        ready = now
+        for level, index in geom.path(leaf):
+            node = geom.node_ordinal(level, index)
+            # A 64 B node occupies half a 128 B cache line: two nodes per
+            # line, at sector slots 0 and 2.
+            result = cache.access(node // 2, (node % 2) * 2)
+            if result.evicted is not None and result.evicted.dirty_sectors:
+                for _ in result.evicted.dirty_sectors:
+                    write_fn(now, BMT_NODE_BYTES)
+            if result.sector_hit:
+                break
+            ready = max(ready, read_fn(ready, BMT_NODE_BYTES))
+        return ready
+
+    def bmt_update_walk(
+        self,
+        now: int,
+        cache,
+        geom: BMTGeometry,
+        leaf: int,
+        read_fn: Callable[[int, int], int],
+        write_fn: Callable[[int, int], int],
+    ) -> None:
+        """Update walk after a counter write: dirty the leaf's parent node.
+
+        Real BMT write machinery lazily propagates updates upward; the
+        traffic that matters is the dirty node writebacks, which the cache
+        eviction path produces. Only the immediate parent is dirtied here -
+        higher levels update on-chip when the parent is evicted, which the
+        64 B writeback accounts for.
+        """
+        if geom.depth <= 1:
+            return  # the leaf's parent is the on-chip root; no traffic
+        level, index = geom.parent(0, leaf)
+        node = geom.node_ordinal(level, index)
+        result = cache.access(node // 2, (node % 2) * 2, write=True)
+        if not result.sector_hit:
+            read_fn(now, BMT_NODE_BYTES)
+        if result.evicted is not None and result.evicted.dirty_sectors:
+            for _ in result.evicted.dirty_sectors:
+                write_fn(now, BMT_NODE_BYTES)
+
+    # -- finalization ------------------------------------------------------------
+    def flush_metadata_caches(
+        self,
+        now: int,
+        device_categories,
+        cxl_categories,
+    ) -> None:
+        """Drain dirty metadata at end of run so traffic totals are honest.
+
+        ``device_categories``/``cxl_categories`` map cache kind ('counter',
+        'mac', 'bmt') to the traffic category its writebacks carry.
+        """
+        for channel, caches in enumerate(self.device_meta):
+            for kind, cache in (("counter", caches.counter), ("mac", caches.mac), ("bmt", caches.bmt)):
+                category = device_categories.get(kind)
+                if category is None:
+                    continue
+                nbytes = BMT_NODE_BYTES if kind == "bmt" else METADATA_UNIT_BYTES
+                for line in cache.flush_dirty():
+                    for _ in line.dirty_sectors:
+                        self.device_write(now, channel, nbytes, category)
+        for kind, cache in (
+            ("counter", self.cxl_meta.counter),
+            ("mac", self.cxl_meta.mac),
+            ("bmt", self.cxl_meta.bmt),
+        ):
+            category = cxl_categories.get(kind)
+            if category is None:
+                continue
+            nbytes = BMT_NODE_BYTES if kind == "bmt" else METADATA_UNIT_BYTES
+            for line in cache.flush_dirty():
+                for _ in line.dirty_sectors:
+                    self.link_write(now, nbytes, category)

@@ -1,0 +1,611 @@
+"""The functional security system: real bytes, real crypto, real trees.
+
+While the timing models count cycles, this module *implements* the two
+security designs over byte-accurate memory images, with AES-128 counter-mode
+encryption, truncated HMAC MACs, and hashed Bonsai Merkle trees. It exists
+to prove, by execution, the paper's security argument:
+
+* data written through the secure path reads back correctly across any
+  sequence of migrations and evictions (round-trip);
+* under **Salus**, migration moves ciphertext verbatim - the bytes in the
+  CXL image and the device image are bit-identical, and the migration
+  re-encryption counter stays at zero;
+* under the **baseline**, every migration decrypts and re-encrypts (the
+  ciphertext changes), which the re-encryption counter records;
+* any tampering with ciphertext or MACs raises
+  :class:`~repro.errors.IntegrityError`;
+* replaying a stale-but-self-consistent snapshot (data + MAC + counters +
+  Merkle leaf) raises :class:`~repro.errors.FreshnessError`, because the
+  on-chip root has moved on;
+* one-time pads never repeat, because the IV's spatial half is the
+  permanent CXL address (checked exhaustively in tests).
+
+The implementation is deliberately compact: device memory is a page cache
+of the CXL image, reads/writes operate on 32 B sectors, and the Salus mode
+reuses the same counter organizations (:mod:`repro.metadata.counters`) and
+MAC-sector layout (:mod:`repro.metadata.mac_store`) as the timing layer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..address import Geometry
+from ..core.unified import UnifiedAddressSpace
+from ..crypto.ctr_mode import CounterModeCipher
+from ..crypto.keys import KeySet
+from ..crypto.mac import truncated_mac, verify_mac
+from ..cxl.device import SectorStore
+from ..errors import FreshnessError, IntegrityError, SimulationError
+from ..metadata.bmt import BMTGeometry, BonsaiMerkleTree
+from ..metadata.counters import (
+    CollapsedCounterStore,
+    ConventionalSplitCounterStore,
+    CounterPair,
+    InterleavingFriendlyCounterStore,
+)
+from ..metadata.mac_store import MacSector, MacStore
+from ..migration.dirty import DirtyTracker
+from ..migration.page_cache import PageCache
+
+
+@dataclass
+class FunctionalStats:
+    """Observable outcomes the functional tests assert on."""
+
+    migration_reencrypted_sectors: int = 0
+    writeback_reencrypted_sectors: int = 0
+    fills: int = 0
+    evictions: int = 0
+    metadata_chunks_fetched: int = 0
+    mac_checks: int = 0
+    bmt_verifies: int = 0
+
+
+class FunctionalSecureSystem:
+    """A working two-tier secure GPU memory (Salus or baseline mode)."""
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        frames: int,
+        mode: str = "salus",
+        geometry: Optional[Geometry] = None,
+        keys: Optional[KeySet] = None,
+    ) -> None:
+        if mode not in ("salus", "baseline"):
+            raise SimulationError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.geometry = geometry if geometry is not None else Geometry()
+        self.keys = keys if keys is not None else KeySet.default()
+        self.unified = UnifiedAddressSpace(self.geometry, footprint_pages)
+        self.cipher = CounterModeCipher(self.keys.encryption_key)
+        self.stats = FunctionalStats()
+
+        geom = self.geometry
+        self.footprint_pages = footprint_pages
+        # Untrusted memory images (ciphertext only).
+        self.cxl_data = SectorStore(geom.sector_bytes)
+        self.device_data = SectorStore(geom.sector_bytes)
+        self.page_cache = PageCache(frames)
+        self.dirty = DirtyTracker(geom.chunks_per_page)
+
+        # CXL-side metadata (always keyed by permanent CXL coordinates).
+        self.cxl_macs = MacStore()
+        if mode == "salus":
+            self.cxl_counters = CollapsedCounterStore(
+                chunks_per_page=geom.chunks_per_page
+            )
+            self.device_groups = InterleavingFriendlyCounterStore(
+                sectors_per_chunk=geom.sectors_per_chunk
+            )
+            cxl_leaves = footprint_pages  # one collapsed sector per page
+            cxl_default = struct.pack(
+                f">{geom.chunks_per_page}Q", *([0] * geom.chunks_per_page)
+            )
+        else:
+            self.cxl_counters_conv = ConventionalSplitCounterStore()
+            self.device_counters_conv = ConventionalSplitCounterStore()
+            self.device_macs = MacStore()
+            cxl_leaves = max(
+                1, footprint_pages * geom.sectors_per_page // 32
+            )
+            cxl_default = struct.pack(">64I", *([0] * 64))
+        # Default leaves encode the all-zero counter state so untouched
+        # memory verifies without ever having been written.
+        self.cxl_bmt = BonsaiMerkleTree(
+            BMTGeometry(num_leaves=cxl_leaves), default_leaf=cxl_default
+        )
+        device_leaves = max(1, frames * geom.chunks_per_page)
+        device_default = struct.pack(
+            f">{2 * geom.sectors_per_chunk}Q", *([0] * 2 * geom.sectors_per_chunk)
+        )
+        self.device_bmt = BonsaiMerkleTree(
+            BMTGeometry(num_leaves=device_leaves), default_leaf=device_default
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _coords(self, cxl_addr: int):
+        return self.unified.coordinates(cxl_addr)
+
+    def _device_sector(self, frame: int, sector_in_page: int) -> int:
+        return frame * self.geometry.sectors_per_page + sector_in_page
+
+    def _cxl_sector(self, cxl_addr: int) -> int:
+        return cxl_addr // self.geometry.sector_bytes
+
+    # -- Merkle leaf payloads: the counter state as stored in memory ----------
+    def _cxl_leaf_payload_salus(self, page: int) -> bytes:
+        epochs = [
+            self.cxl_counters.chunk_epoch(page, c)
+            for c in range(self.geometry.chunks_per_page)
+        ]
+        return struct.pack(f">{len(epochs)}Q", *epochs)
+
+    def _cxl_leaf_payload_baseline(self, group: int) -> bytes:
+        base = group * 32
+        pairs = [self.cxl_counters_conv.read(base + s) for s in range(32)]
+        return struct.pack(
+            ">64I", *[v for p in pairs for v in (p.major, p.minor)]
+        )
+
+    def _device_leaf_payload(self, device_chunk: int) -> bytes:
+        if self.mode == "salus":
+            try:
+                pairs = [
+                    self.device_groups.read(device_chunk, s)
+                    for s in range(self.geometry.sectors_per_chunk)
+                ]
+            except KeyError:
+                return b""
+        else:
+            base = device_chunk * self.geometry.sectors_per_chunk
+            pairs = [
+                self.device_counters_conv.read(base + s)
+                for s in range(self.geometry.sectors_per_chunk)
+            ]
+        return struct.pack(
+            f">{2 * len(pairs)}Q", *[v for p in pairs for v in (p.major, p.minor)]
+        )
+
+    def _update_cxl_leaf(self, page: int, chunk_in_page: int, cxl_sector: int) -> None:
+        if self.mode == "salus":
+            self.cxl_bmt.update(page, self._cxl_leaf_payload_salus(page))
+        else:
+            group = self.cxl_counters_conv.group_index(cxl_sector)
+            self.cxl_bmt.update(group, self._cxl_leaf_payload_baseline(group))
+        _ = chunk_in_page
+
+    def _verify_cxl_leaf(self, page: int, cxl_sector: int) -> None:
+        self.stats.bmt_verifies += 1
+        if self.mode == "salus":
+            self.cxl_bmt.verify_or_raise(page, self._cxl_leaf_payload_salus(page))
+        else:
+            group = self.cxl_counters_conv.group_index(cxl_sector)
+            self.cxl_bmt.verify_or_raise(
+                group, self._cxl_leaf_payload_baseline(group)
+            )
+
+    # ------------------------------------------------------------------ residency
+    def _ensure_resident(self, page: int) -> int:
+        frame = self.page_cache.frame_of(page)
+        if frame is not None:
+            self.page_cache.touch(page)
+            return frame
+        result = self.page_cache.fault(page)
+        if result.victim_page is not None:
+            self._evict(result.victim_page, result.victim_frame)
+        self._fill(page, result.frame)
+        return result.frame
+
+    def _fill(self, page: int, frame: int) -> None:
+        """Copy a page's ciphertext into device memory.
+
+        Salus: a verbatim copy, metadata fetched lazily on access.
+        Baseline: decrypt with CXL counters, re-encrypt with device-local
+        counters, rebuild device MACs - the full location-tied toll.
+        """
+        geom = self.geometry
+        self.stats.fills += 1
+        for s in range(geom.sectors_per_page):
+            cxl_sector = page * geom.sectors_per_page + s
+            ciphertext = self.cxl_data.read(cxl_sector)
+            if self.mode == "salus":
+                self.device_data.write(self._device_sector(frame, s), ciphertext)
+                continue
+            # Baseline: verify + decrypt under CXL metadata...
+            cxl_addr = cxl_sector * geom.sector_bytes
+            pair = self.cxl_counters_conv.read(cxl_sector)
+            self._verify_cxl_leaf(page, cxl_sector)
+            self._check_mac(self.cxl_macs, cxl_sector, ciphertext, cxl_addr, pair)
+            plaintext = self.cipher.crypt_sector(
+                ciphertext, cxl_addr, pair.major, pair.minor
+            )
+            # ...then re-encrypt under the device location's counters. An
+            # increment that would overflow the shared major first rescues
+            # every covered sibling (the 1 KiB unification re-encryption).
+            dev_sector = self._device_sector(frame, s)
+            current = self.device_counters_conv.read(dev_sector)
+            touched = set()
+            if current.minor + 1 >= (1 << self.device_counters_conv.minor_bits):
+                touched = self._reencrypt_baseline_span(dev_sector)
+            inc = self.device_counters_conv.increment(dev_sector)
+            self.stats.migration_reencrypted_sectors += 1
+            new_cipher = self.cipher.crypt_sector(
+                plaintext, dev_sector * geom.sector_bytes, inc.pair.major, inc.pair.minor
+            )
+            self.device_data.write(dev_sector, new_cipher)
+            self._set_mac(
+                self.device_macs, dev_sector, new_cipher,
+                dev_sector * geom.sector_bytes, inc.pair,
+            )
+            device_chunk = dev_sector // geom.sectors_per_chunk
+            for chunk in touched | {device_chunk}:
+                self.device_bmt.update(chunk, self._device_leaf_payload(chunk))
+
+    def _evict(self, page: int, frame: int) -> None:
+        """Write dirty state back to the CXL image and drop device state."""
+        geom = self.geometry
+        self.stats.evictions += 1
+        dirty_chunks = set(self.dirty.dirty_chunks(page))
+        if self.mode == "baseline" and self.dirty.is_page_dirty(page):
+            dirty_chunks = set(range(geom.chunks_per_page))
+        for chunk in sorted(dirty_chunks):
+            self._writeback_chunk(page, frame, chunk)
+        # Drop device-side state for every chunk of the page.
+        for chunk in range(geom.chunks_per_page):
+            device_chunk = frame * geom.chunks_per_page + chunk
+            if self.mode == "salus":
+                self.device_groups.evict(device_chunk)
+            for s in range(geom.sectors_per_chunk):
+                self.device_data.discard(
+                    device_chunk * geom.sectors_per_chunk + s
+                )
+        self.dirty.clear(page)
+
+    def _writeback_chunk(self, page: int, frame: int, chunk: int) -> None:
+        """Collapse (Salus) or re-encrypt (baseline) one chunk back to CXL."""
+        geom = self.geometry
+        device_chunk = frame * geom.chunks_per_page + chunk
+        if self.mode == "salus":
+            # Advance the chunk epoch, re-encrypt all 8 sectors to
+            # (new_epoch, 0), recompute MACs with the embedded epoch.
+            if not self.device_groups.any_minor_nonzero(device_chunk):
+                # Nothing was actually written since install; the CXL copy
+                # is still current.
+                return
+            new_pair = self.cxl_counters.collapse(page, chunk).pair
+        for s in range(geom.sectors_per_chunk):
+            sector_in_page = chunk * geom.sectors_per_chunk + s
+            dev_sector = self._device_sector(frame, sector_in_page)
+            cxl_sector = page * geom.sectors_per_page + sector_in_page
+            cxl_addr = cxl_sector * geom.sector_bytes
+            ciphertext = self.device_data.read(dev_sector)
+            if self.mode == "salus":
+                old_pair = self.device_groups.read(device_chunk, s)
+                plaintext = self.cipher.crypt_sector(
+                    ciphertext, cxl_addr, old_pair.major, old_pair.minor
+                )
+                self.stats.writeback_reencrypted_sectors += 1
+                new_cipher = self.cipher.crypt_sector(
+                    plaintext, cxl_addr, new_pair.major, new_pair.minor
+                )
+                self.cxl_data.write(cxl_sector, new_cipher)
+                self._set_mac(
+                    self.cxl_macs, cxl_sector, new_cipher, cxl_addr, new_pair,
+                    embedded=new_pair.major,
+                )
+            else:
+                dev_pair = self.device_counters_conv.read(dev_sector)
+                plaintext = self.cipher.crypt_sector(
+                    ciphertext, dev_sector * geom.sector_bytes,
+                    dev_pair.major, dev_pair.minor,
+                )
+                inc = self.cxl_counters_conv.increment(cxl_sector)
+                self.stats.migration_reencrypted_sectors += 1
+                new_cipher = self.cipher.crypt_sector(
+                    plaintext, cxl_addr, inc.pair.major, inc.pair.minor
+                )
+                self.cxl_data.write(cxl_sector, new_cipher)
+                self._set_mac(
+                    self.cxl_macs, cxl_sector, new_cipher, cxl_addr, inc.pair
+                )
+        self._update_cxl_leaf(
+            page, chunk,
+            page * geom.sectors_per_page + chunk * geom.sectors_per_chunk,
+        )
+
+    # ------------------------------------------------------------------ MACs
+    def _set_mac(
+        self,
+        store: MacStore,
+        sector_index: int,
+        ciphertext: bytes,
+        addr_for_mac: int,
+        pair: CounterPair,
+        embedded: Optional[int] = None,
+    ) -> None:
+        block = sector_index // self.geometry.sectors_per_block
+        within = sector_index % self.geometry.sectors_per_block
+        mac = truncated_mac(
+            self.keys.mac_key, ciphertext, addr_for_mac, pair.major, pair.minor
+        )
+        sector = store.get(block)
+        sector.macs[within] = mac
+        if embedded is not None:
+            store.put(
+                block,
+                MacSector(
+                    macs=list(sector.macs),
+                    embedded_major=embedded & 0xFFFFFFFF,
+                ),
+            )
+
+    def _check_mac(
+        self,
+        store: MacStore,
+        sector_index: int,
+        ciphertext: bytes,
+        addr_for_mac: int,
+        pair: CounterPair,
+    ) -> None:
+        block = sector_index // self.geometry.sectors_per_block
+        within = sector_index % self.geometry.sectors_per_block
+        expected = store.get(block).macs[within]
+        self.stats.mac_checks += 1
+        if expected == 0 and ciphertext == b"\x00" * len(ciphertext):
+            # Initialized state: the sector was never written through the
+            # secure path (secure-wipe leaves zeroed data and zeroed MACs).
+            return
+        if not verify_mac(
+            self.keys.mac_key, ciphertext, addr_for_mac,
+            pair.major, pair.minor, expected,
+        ):
+            raise IntegrityError(
+                f"MAC mismatch for sector at {addr_for_mac:#x}: data or "
+                "metadata was tampered with"
+            )
+
+    # ------------------------------------------------------------------ Salus lazy metadata
+    def _ensure_chunk_metadata(self, page: int, frame: int, chunk: int) -> None:
+        """Fetch-on-access: install the chunk's counter group from the CXL
+        side (epoch verified against the CXL tree) on first touch."""
+        device_chunk = frame * self.geometry.chunks_per_page + chunk
+        if self.device_groups.is_installed_for(device_chunk, page):
+            return
+        self._verify_cxl_leaf(page, page * self.geometry.sectors_per_page)
+        epoch = self.cxl_counters.chunk_epoch(page, chunk)
+        self.device_groups.install(device_chunk, epoch, page)
+        self.device_bmt.update(device_chunk, self._device_leaf_payload(device_chunk))
+        self.stats.metadata_chunks_fetched += 1
+
+    # ------------------------------------------------------------------ public API
+    def write(self, cxl_addr: int, plaintext: bytes) -> None:
+        """Write one 32 B sector through the secure path."""
+        geom = self.geometry
+        if len(plaintext) != geom.sector_bytes:
+            raise SimulationError(f"writes are {geom.sector_bytes} B sectors")
+        coords = self._coords(cxl_addr)
+        frame = self._ensure_resident(coords.page)
+        sector_in_page = geom.sector_in_page(cxl_addr)
+        dev_sector = self._device_sector(frame, sector_in_page)
+        device_chunk = dev_sector // geom.sectors_per_chunk
+
+        if self.mode == "salus":
+            self._ensure_chunk_metadata(coords.page, frame, coords.chunk_in_page)
+            current = self.device_groups.read(device_chunk, coords.sector_in_chunk)
+            if current.minor + 1 >= (1 << self.device_groups.minor_bits):
+                # The increment below will overflow and reset the whole
+                # group; rescue the chunk's plaintext first so the siblings
+                # can be re-encrypted under the bumped major.
+                self._reencrypt_salus_chunk(coords.page, frame, coords.chunk_in_page)
+            inc = self.device_groups.increment(device_chunk, coords.sector_in_chunk)
+            ciphertext = self.cipher.crypt_sector(
+                plaintext, coords.cxl_sector_addr, inc.pair.major, inc.pair.minor
+            )
+            self.device_data.write(dev_sector, ciphertext)
+            # Device-resident MACs live alongside the CXL MAC image in this
+            # functional model: unified addressing means the same MAC store
+            # serves both, keyed by the permanent CXL sector.
+            self._set_mac(
+                self.cxl_macs, self._cxl_sector(cxl_addr), ciphertext,
+                coords.cxl_sector_addr, inc.pair,
+            )
+        else:
+            current = self.device_counters_conv.read(dev_sector)
+            touched_chunks = set()
+            if current.minor + 1 >= (1 << self.device_counters_conv.minor_bits):
+                touched_chunks = self._reencrypt_baseline_span(dev_sector)
+            inc = self.device_counters_conv.increment(dev_sector)
+            ciphertext = self.cipher.crypt_sector(
+                plaintext, dev_sector * geom.sector_bytes,
+                inc.pair.major, inc.pair.minor,
+            )
+            self.device_data.write(dev_sector, ciphertext)
+            self._set_mac(
+                self.device_macs, dev_sector, ciphertext,
+                dev_sector * geom.sector_bytes, inc.pair,
+            )
+            # Refresh Merkle leaves of every chunk the overflow touched,
+            # now that the store holds the post-reset values.
+            for other_chunk in touched_chunks - {device_chunk}:
+                self.device_bmt.update(
+                    other_chunk, self._device_leaf_payload(other_chunk)
+                )
+        self.device_bmt.update(device_chunk, self._device_leaf_payload(device_chunk))
+        self.dirty.mark(coords.page, coords.chunk_in_page)
+
+    def read(self, cxl_addr: int) -> bytes:
+        """Read one 32 B sector through the secure path (verify + decrypt)."""
+        geom = self.geometry
+        coords = self._coords(cxl_addr)
+        frame = self._ensure_resident(coords.page)
+        sector_in_page = geom.sector_in_page(cxl_addr)
+        dev_sector = self._device_sector(frame, sector_in_page)
+        device_chunk = dev_sector // geom.sectors_per_chunk
+        ciphertext = self.device_data.read(dev_sector)
+
+        if self.mode == "salus":
+            self._ensure_chunk_metadata(coords.page, frame, coords.chunk_in_page)
+            pair = self.device_groups.read(device_chunk, coords.sector_in_chunk)
+            self.device_bmt.verify_or_raise(
+                device_chunk, self._device_leaf_payload(device_chunk)
+            )
+            self.stats.bmt_verifies += 1
+            self._check_mac(
+                self.cxl_macs, self._cxl_sector(cxl_addr), ciphertext,
+                coords.cxl_sector_addr, pair,
+            )
+            return self.cipher.crypt_sector(
+                ciphertext, coords.cxl_sector_addr, pair.major, pair.minor
+            )
+        pair = self.device_counters_conv.read(dev_sector)
+        self.device_bmt.verify_or_raise(
+            device_chunk, self._device_leaf_payload(device_chunk)
+        )
+        self.stats.bmt_verifies += 1
+        self._check_mac(
+            self.device_macs, dev_sector, ciphertext,
+            dev_sector * geom.sector_bytes, pair,
+        )
+        return self.cipher.crypt_sector(
+            ciphertext, dev_sector * geom.sector_bytes, pair.major, pair.minor
+        )
+
+    # ------------------------------------------------------------------ overflow paths
+    def _reencrypt_salus_chunk(self, page: int, frame: int, chunk: int) -> None:
+        """Chunk-local minor overflow (called *before* the overflowing
+        increment): decrypt the chunk's sectors under their current pairs
+        and re-encrypt under (major+1, 0). Neighbouring chunks are never
+        touched - the locality guarantee of the Figure-4 groups."""
+        geom = self.geometry
+        device_chunk = frame * geom.chunks_per_page + chunk
+        new_major = self.device_groups.read(device_chunk, 0).major + 1
+        for s in range(geom.sectors_per_chunk):
+            sector_in_page = chunk * geom.sectors_per_chunk + s
+            dev_sector = self._device_sector(frame, sector_in_page)
+            if dev_sector not in self.device_data:
+                continue
+            cxl_sector = page * geom.sectors_per_page + sector_in_page
+            cxl_addr = cxl_sector * geom.sector_bytes
+            old_pair = self.device_groups.read(device_chunk, s)
+            plaintext = self.cipher.crypt_sector(
+                self.device_data.read(dev_sector), cxl_addr,
+                old_pair.major, old_pair.minor,
+            )
+            new_pair = CounterPair(major=new_major, minor=0)
+            new_cipher = self.cipher.crypt_sector(
+                plaintext, cxl_addr, new_pair.major, new_pair.minor
+            )
+            self.device_data.write(dev_sector, new_cipher)
+            self._set_mac(self.cxl_macs, cxl_sector, new_cipher, cxl_addr, new_pair)
+            self.stats.writeback_reencrypted_sectors += 1
+
+    def _reencrypt_baseline_span(self, written_sector: int) -> set:
+        """Shared-major overflow (called *before* the overflowing
+        increment): every sector the major covers decrypts under its current
+        pair and re-encrypts under (major+1, 0) - even sectors belonging to
+        entirely different CXL pages, the unification cost of Section IV-A1.
+
+        Returns the device chunks touched; the caller refreshes their Merkle
+        leaves *after* the increment mutates the counter store, so the tree
+        always reflects the stored values.
+        """
+        geom = self.geometry
+        store = self.device_counters_conv
+        base = store.group_index(written_sector) * store.minors_per_major
+        new_major = store.read(written_sector).major + 1
+        # Every covered chunk's counters reset, whether or not its data is
+        # present, so every covered Merkle leaf must refresh afterwards.
+        touched = {
+            s // geom.sectors_per_chunk
+            for s in range(base, base + store.minors_per_major)
+        }
+        for dev_sector in range(base, base + store.minors_per_major):
+            if dev_sector not in self.device_data:
+                continue
+            old_pair = store.read(dev_sector)
+            addr = dev_sector * geom.sector_bytes
+            plaintext = self.cipher.crypt_sector(
+                self.device_data.read(dev_sector), addr,
+                old_pair.major, old_pair.minor,
+            )
+            new_pair = CounterPair(major=new_major, minor=0)
+            new_cipher = self.cipher.crypt_sector(
+                plaintext, addr, new_pair.major, new_pair.minor
+            )
+            self.device_data.write(dev_sector, new_cipher)
+            self._set_mac(self.device_macs, dev_sector, new_cipher, addr, new_pair)
+            self.stats.migration_reencrypted_sectors += 1
+        return touched
+
+    # ------------------------------------------------------------------ attack surface
+    def tamper_device_sector(self, cxl_addr: int, new_bytes: bytes) -> None:
+        """Physically overwrite ciphertext in device memory (attacker)."""
+        coords = self._coords(cxl_addr)
+        frame = self.page_cache.frame_of(coords.page)
+        if frame is None:
+            raise SimulationError("page not resident; tamper the CXL image")
+        dev_sector = self._device_sector(
+            frame, self.geometry.sector_in_page(cxl_addr)
+        )
+        self.device_data.write(dev_sector, new_bytes)
+
+    def tamper_cxl_sector(self, cxl_addr: int, new_bytes: bytes) -> None:
+        """Physically overwrite ciphertext in the expansion memory."""
+        self.cxl_data.write(self._cxl_sector(cxl_addr), new_bytes)
+
+    def snapshot_chunk(self, cxl_addr: int) -> dict:
+        """Record everything an attacker needs for a replay attempt."""
+        coords = self._coords(cxl_addr)
+        geom = self.geometry
+        base = coords.page * geom.sectors_per_page + coords.chunk_in_page * geom.sectors_per_chunk
+        return {
+            "page": coords.page,
+            "chunk": coords.chunk_in_page,
+            "data": {s: self.cxl_data.read(base + s) for s in range(geom.sectors_per_chunk)},
+            "macs": {
+                (base + s) // geom.sectors_per_block: MacSector(
+                    macs=list(self.cxl_macs.get((base + s) // geom.sectors_per_block).macs),
+                    embedded_major=self.cxl_macs.get(
+                        (base + s) // geom.sectors_per_block
+                    ).embedded_major,
+                )
+                for s in range(geom.sectors_per_chunk)
+            },
+            "leaf_hash": self.cxl_bmt.raw_leaf_hash(
+                coords.page if self.mode == "salus"
+                else self.cxl_counters_conv.group_index(base)
+            ),
+            "epoch": (
+                self.cxl_counters.chunk_epoch(coords.page, coords.chunk_in_page)
+                if self.mode == "salus" else None
+            ),
+        }
+
+    def replay_chunk(self, snapshot: dict) -> None:
+        """Restore a stale-but-consistent chunk image (attacker).
+
+        Data, MACs, counters and even the Merkle *leaf hash* are restored,
+        so everything in untrusted memory is self-consistent; only the
+        on-chip root knows better.
+        """
+        geom = self.geometry
+        page, chunk = snapshot["page"], snapshot["chunk"]
+        base = page * geom.sectors_per_page + chunk * geom.sectors_per_chunk
+        for s, data in snapshot["data"].items():
+            self.cxl_data.write(base + s, data)
+        for block, sector in snapshot["macs"].items():
+            self.cxl_macs.put(block, sector)
+        if self.mode == "salus" and snapshot["epoch"] is not None:
+            # Roll the collapsed counter back by direct state manipulation,
+            # as a physical attacker rewriting the counter region would.
+            state = self.cxl_counters._pages[page]  # attacker's eye view
+            state.minors[chunk] = snapshot["epoch"] & (
+                (1 << self.cxl_counters.minor_bits) - 1
+            )
+            state.major = snapshot["epoch"] >> self.cxl_counters.minor_bits
+        leaf = page if self.mode == "salus" else self.cxl_counters_conv.group_index(base)
+        self.cxl_bmt.restore_leaf_hash(leaf, snapshot["leaf_hash"])

@@ -1,0 +1,166 @@
+"""Abstract interface every timing security model implements.
+
+The GPU simulator drives the common path (mapping lookup, migration, L2,
+data fetch) and calls into the active security model at four points:
+
+* a demand **read** missed L2 and its data fetch was booked - the model adds
+  counter/BMT/MAC legs and returns when the verified plaintext is ready;
+* a dirty L2 sector is **written back** - the model books the (posted)
+  counter increment, re-encryption, MAC update and metadata writebacks;
+* a page **fill** - the model books the data copy plus whatever security
+  work its design requires when data moves CXL -> device;
+* a page **eviction** - the posted reverse direction.
+
+A model may also hook demand stores (Salus's dirty-bitmask bookkeeping) and
+is finalized once at end of run to drain dirty metadata caches so traffic
+totals are complete.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+from .fabric import MemoryFabric, SectorLoc
+
+
+class TimingSecurityModel(ABC):
+    """Base class for the no-security, baseline and Salus timing models."""
+
+    name: str = "abstract"
+
+    def __init__(self, fabric: MemoryFabric) -> None:
+        self.fabric = fabric
+        self.stats = fabric.stats
+        self.geometry = fabric.geometry
+        self.config = fabric.config
+        self.dirty_tracker = None
+
+    def attach_dirty_tracker(self, tracker) -> None:
+        """Bind the shared dirty-state tracker (called by the simulator).
+
+        All models observe the same write stream through the same tracker;
+        they differ only in which granularity they consult at eviction and
+        whether updates cost mapping traffic (Salus overrides this).
+        """
+        self.dirty_tracker = tracker
+
+    # -- demand path -------------------------------------------------------------
+    @abstractmethod
+    def read_complete(self, now: int, loc: SectorLoc, data_ready: int) -> int:
+        """Cycle at which a demand-read sector is decrypted and verified."""
+
+    @abstractmethod
+    def writeback(self, now: int, loc: SectorLoc) -> None:
+        """Posted security work for one dirty L2 sector writeback."""
+
+    def on_store(self, now: int, loc: SectorLoc) -> None:
+        """Hook for demand stores: record dirtiness (free by default)."""
+        if self.dirty_tracker is not None:
+            self.dirty_tracker.mark(loc.page, loc.chunk_in_page)
+
+    # -- migration path ---------------------------------------------------------
+    @abstractmethod
+    def fill(self, now: int, page: int, frame: int) -> int:
+        """Book a page fill (data + security); returns usable-at cycle."""
+
+    @abstractmethod
+    def evict(
+        self, now: int, page: int, frame: int,
+        dirty_chunks: Tuple[int, ...], page_dirty: bool,
+    ) -> int:
+        """Posted writeback of an evicted page (data + security).
+
+        Returns the cycle at which the eviction's outbound traffic drains;
+        the migration engine uses it for writeback-buffer backpressure.
+        """
+
+    def fill_chunk(self, now: int, page: int, frame: int, chunk_in_page: int) -> int:
+        """Demand chunk fill (``fill_granularity='chunk'``): move one 256 B
+        chunk's ciphertext on its first access. Default: data only - models
+        with location-tied metadata override to add their per-chunk security
+        work. Returns when the chunk is usable in device memory.
+        """
+        from ..sim.stats import TrafficCategory
+
+        geom = self.geometry
+        link_ready = self.fabric.link_read(
+            now, geom.chunk_bytes, TrafficCategory.DATA
+        )
+        channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk_in_page)
+        wrote = self.fabric.device_write(
+            link_ready, channel, geom.chunk_bytes, TrafficCategory.DATA
+        )
+        _ = page
+        return max(link_ready, wrote)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def finalize(self, now: int) -> None:
+        """Drain any dirty metadata so end-of-run traffic is accounted."""
+
+    # -- shared data-copy bookings -------------------------------------------------
+    def _copy_page_to_device(self, now: int, page: int, frame: int):
+        """Book the raw data movement of a fill: link read + device writes.
+
+        Returns ``(link_ready, install_done)``: when the page's bytes have
+        crossed the link, and when the device-side writes have drained.
+        """
+        from ..sim.stats import TrafficCategory
+
+        geom = self.geometry
+        link_ready = self.fabric.link_read(
+            now, geom.page_bytes, TrafficCategory.DATA
+        )
+        done = link_ready
+        for chunk in range(geom.chunks_per_page):
+            channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk)
+            wrote = self.fabric.device_write(
+                link_ready, channel, geom.chunk_bytes, TrafficCategory.DATA
+            )
+            done = max(done, wrote)
+        _ = page
+        return link_ready, done
+
+    def _drop_device_page_metadata(self, frame: int) -> None:
+        """Invalidate a just-evicted page's device MAC sectors, no writeback.
+
+        Once a page leaves device memory its device-side MACs are dead state:
+        dirty chunks' MACs were recomputed and written to the CXL side by the
+        eviction itself, and clean chunks' MACs still match the CXL copies.
+        Writing them back to the device MAC region would be pure waste, so
+        both the baseline and Salus drop them.
+        """
+        geom = self.geometry
+        for chunk in range(geom.chunks_per_page):
+            channel, local_chunk = self.fabric.interleaver.device_chunk_location(
+                frame, chunk
+            )
+            mac_cache = self.fabric.device_meta[channel].mac
+            first_unit = local_chunk * geom.blocks_per_chunk
+            for block in range(geom.blocks_per_chunk):
+                unit = first_unit + block
+                mac_cache.invalidate_sector(unit // 4, unit % 4)
+
+    def _copy_chunks_to_cxl(self, now: int, frame: int, chunks: Tuple[int, ...]) -> int:
+        """Book the raw data movement of a (partial) eviction; posted.
+
+        The chunks are read from their owning channels (separate DRAM
+        transactions - they live in different partitions) and leave over the
+        link as one coalesced burst, since the eviction engine drains them
+        together.
+        """
+        from ..sim.stats import TrafficCategory
+
+        geom = self.geometry
+        if not chunks:
+            return now
+        gathered = now
+        for chunk in chunks:
+            channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk)
+            read_done = self.fabric.device_read(
+                now, channel, geom.chunk_bytes, TrafficCategory.DATA, critical=False
+            )
+            gathered = max(gathered, read_done)
+        return self.fabric.link_write(
+            gathered, len(chunks) * geom.chunk_bytes, TrafficCategory.DATA
+        )

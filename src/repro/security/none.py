@@ -1,0 +1,44 @@
+"""The no-security reference system.
+
+Identical memory system and migration machinery, zero security operations:
+this is the normalization basis of Figures 10, 13 and 14 ("a system with the
+same memory configuration but without any security support"). It uses the
+conventional page-granularity dirty bit, like an unprotected GPU would.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .fabric import SectorLoc
+from .model import TimingSecurityModel
+
+
+class NoSecurityModel(TimingSecurityModel):
+    """Data traffic only - the unprotected upper bound."""
+
+    name = "nosec"
+
+    def read_complete(self, now: int, loc: SectorLoc, data_ready: int) -> int:
+        return data_ready
+
+    def writeback(self, now: int, loc: SectorLoc) -> None:
+        # The data write itself is booked by the simulator; nothing extra.
+        return None
+
+    def fill(self, now: int, page: int, frame: int) -> int:
+        _, install_done = self._copy_page_to_device(now, page, frame)
+        return install_done
+
+    def evict(
+        self, now: int, page: int, frame: int,
+        dirty_chunks: Tuple[int, ...], page_dirty: bool,
+    ) -> int:
+        if not page_dirty:
+            return now
+        # Page-granularity dirty bit: the whole page goes back.
+        all_chunks = tuple(range(self.geometry.chunks_per_page))
+        return self._copy_chunks_to_cxl(now, frame, all_chunks)
+
+    def finalize(self, now: int) -> None:
+        return None

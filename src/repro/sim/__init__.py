@@ -1,0 +1,6 @@
+"""Simulation kernel: discrete-event scheduling and statistics collection."""
+
+from .events import Event, EventQueue
+from .stats import Side, StatRegistry, TrafficCategory
+
+__all__ = ["Event", "EventQueue", "Side", "StatRegistry", "TrafficCategory"]

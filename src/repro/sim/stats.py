@@ -1,0 +1,138 @@
+"""Statistics collection for the timing simulator.
+
+Every byte that crosses a memory interface is recorded with a
+:class:`TrafficCategory` (what kind of information it is) and a :class:`Side`
+(which memory it touched). The paper's figures are all derived from these
+tallies:
+
+* Figure 10 (IPC) - cycles and instruction counts;
+* Figure 11 (security traffic) - the sum of all non-``DATA`` categories plus
+  re-encryption-induced data movement (``REENC_DATA``);
+* Figure 12 (bandwidth utilization) - per-side busy-byte ratios.
+
+The registry is deliberately dumb - plain counters - so that the simulator's
+hot path stays cheap and the harness can post-process freely.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+
+class TrafficCategory(enum.Enum):
+    """What a memory transaction carried."""
+
+    DATA = "data"              # demand data (reads, writebacks, migration copies)
+    COUNTER = "counter"        # encryption-counter sectors/blocks
+    MAC = "mac"                # MAC sectors
+    BMT = "bmt"                # Bonsai-Merkle-tree nodes
+    MAPPING = "mapping"        # CXL-to-GPU mapping sectors (incl. dirty bitmasks)
+    REENC_DATA = "reenc_data"  # data moved only to be re-encrypted
+
+    @property
+    def is_security(self) -> bool:
+        """True for traffic that exists only because of the security model."""
+        return self in _SECURITY_CATEGORIES
+
+
+_SECURITY_CATEGORIES = frozenset(
+    {
+        TrafficCategory.COUNTER,
+        TrafficCategory.MAC,
+        TrafficCategory.BMT,
+        TrafficCategory.REENC_DATA,
+    }
+)
+
+
+class Side(enum.Enum):
+    """Which memory a transaction touched."""
+
+    DEVICE = "device"   # GPU device memory (HBM/GDDR) channels
+    CXL = "cxl"         # CXL-attached expansion memory, through the link
+
+
+@dataclass
+class StatRegistry:
+    """Accumulates traffic bytes, event counters and timing totals."""
+
+    traffic_bytes: Dict[Tuple[Side, TrafficCategory], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    instructions: int = 0
+    final_cycle: int = 0
+
+    # -- recording -----------------------------------------------------------
+    def add_traffic(self, side: Side, category: TrafficCategory, nbytes: int) -> None:
+        """Record ``nbytes`` of ``category`` traffic on ``side``."""
+        self.traffic_bytes[(side, category)] += nbytes
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment the named event counter."""
+        self.counters[name] += amount
+
+    # -- queries ---------------------------------------------------------------
+    def bytes_for(
+        self,
+        side: Side = None,
+        category: TrafficCategory = None,
+    ) -> int:
+        """Total bytes, filtered by side and/or category (None = all)."""
+        total = 0
+        for (s, c), n in self.traffic_bytes.items():
+            if side is not None and s is not side:
+                continue
+            if category is not None and c is not category:
+                continue
+            total += n
+        return total
+
+    def security_bytes(self, side: Side = None) -> int:
+        """Bytes of traffic that only exist because of the security model."""
+        total = 0
+        for (s, c), n in self.traffic_bytes.items():
+            if side is not None and s is not side:
+                continue
+            if c.is_security:
+                total += n
+        return total
+
+    def data_bytes(self, side: Side = None) -> int:
+        """Bytes of demand/migration data traffic."""
+        return self.bytes_for(side=side, category=TrafficCategory.DATA)
+
+    def total_bytes(self, side: Side = None) -> int:
+        return self.bytes_for(side=side)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole run (0.0 for an empty run)."""
+        if self.final_cycle <= 0:
+            return 0.0
+        return self.instructions / self.final_cycle
+
+    # -- reporting ---------------------------------------------------------------
+    def breakdown(self) -> Dict[str, int]:
+        """Human-readable {"side.category": bytes} mapping, sorted by key."""
+        return {
+            f"{s.value}.{c.value}": n
+            for (s, c), n in sorted(
+                self.traffic_bytes.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+            )
+        }
+
+    def merge(self, others: Iterable["StatRegistry"]) -> "StatRegistry":
+        """Fold other registries into this one (used by sharded runs)."""
+        for other in others:
+            for key, n in other.traffic_bytes.items():
+                self.traffic_bytes[key] += n
+            for name, n in other.counters.items():
+                self.counters[name] += n
+            self.instructions += other.instructions
+            self.final_cycle = max(self.final_cycle, other.final_cycle)
+        return self

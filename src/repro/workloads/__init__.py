@@ -1,0 +1,27 @@
+"""Workload generation: synthetic stand-ins for the paper's benchmarks.
+
+The paper evaluates CUDA benchmarks from Rodinia-3.1, Parboil, LonestarGPU
+and Pannotia inside GPGPU-Sim. Without CUDA or the simulator, we synthesize
+post-L1 memory traces whose *page-migration-relevant* characteristics match
+what the paper reports for each benchmark: how much of a page's channels are
+touched per device-memory residency, how temporally spread the accesses are,
+write intensity, reuse, and arithmetic intensity. Section 2 of DESIGN.md
+documents the substitution argument.
+"""
+
+from .trace import Trace
+from .generators import WorkloadSpec, generate_trace
+from .io import load_trace, save_trace
+from .suite import BENCHMARKS, benchmark_names, build_trace, spec_for
+
+__all__ = [
+    "BENCHMARKS",
+    "Trace",
+    "WorkloadSpec",
+    "benchmark_names",
+    "build_trace",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+    "spec_for",
+]

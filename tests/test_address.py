@@ -1,0 +1,153 @@
+"""Unit tests for the address geometry (repro.address)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.address import (
+    BLOCK_BYTES,
+    CHUNK_BYTES,
+    DEFAULT_GEOMETRY,
+    Geometry,
+    SECTOR_BYTES,
+    is_power_of_two,
+)
+from repro.errors import AddressError
+
+
+class TestConstants:
+    def test_paper_granularities(self):
+        # Section II-D / IV-A1: 32 B sectors, 128 B blocks, 256 B chunks.
+        assert SECTOR_BYTES == 32
+        assert BLOCK_BYTES == 128
+        assert CHUNK_BYTES == 256
+
+    def test_default_geometry_ratios(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sectors_per_block == 4
+        assert g.sectors_per_chunk == 8
+        assert g.blocks_per_chunk == 2
+        assert g.chunks_per_page == 16
+        assert g.sectors_per_page == 128
+        assert g.blocks_per_page == 32
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 256, 4096, 1 << 40])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, 3, 6, 100, 4095])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestGeometryValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(AddressError):
+            Geometry(page_bytes=3000)
+
+    def test_unordered_granularities_rejected(self):
+        with pytest.raises(AddressError):
+            Geometry(sector_bytes=256, chunk_bytes=64, block_bytes=128)
+
+    def test_custom_page_size(self):
+        g = Geometry(page_bytes=2048)
+        assert g.chunks_per_page == 8
+        assert g.sectors_per_page == 64
+
+
+class TestIndexExtraction:
+    def test_page_of(self):
+        g = DEFAULT_GEOMETRY
+        assert g.page_of(0) == 0
+        assert g.page_of(4095) == 0
+        assert g.page_of(4096) == 1
+
+    def test_chunk_in_page(self):
+        g = DEFAULT_GEOMETRY
+        assert g.chunk_in_page(0) == 0
+        assert g.chunk_in_page(255) == 0
+        assert g.chunk_in_page(256) == 1
+        assert g.chunk_in_page(4096 + 256) == 1  # independent of page
+
+    def test_sector_in_chunk(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sector_in_chunk(0) == 0
+        assert g.sector_in_chunk(32) == 1
+        assert g.sector_in_chunk(255) == 7
+
+    def test_sector_in_block(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sector_in_block(96) == 3
+        assert g.sector_in_block(128) == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AddressError):
+            DEFAULT_GEOMETRY.page_of(-1)
+
+
+class TestAddressConstruction:
+    def test_sector_addr_roundtrip(self):
+        g = DEFAULT_GEOMETRY
+        addr = g.sector_addr(page=3, sector_in_page=17)
+        assert g.page_of(addr) == 3
+        assert g.sector_in_page(addr) == 17
+
+    def test_sector_addr_range_checked(self):
+        with pytest.raises(AddressError):
+            DEFAULT_GEOMETRY.sector_addr(0, 128)
+
+    def test_chunk_addr_roundtrip(self):
+        g = DEFAULT_GEOMETRY
+        addr = g.chunk_addr(page=5, chunk_in_page=9)
+        assert g.page_of(addr) == 5
+        assert g.chunk_in_page(addr) == 9
+
+    def test_chunk_addr_range_checked(self):
+        with pytest.raises(AddressError):
+            DEFAULT_GEOMETRY.chunk_addr(0, 16)
+
+
+class TestAlignment:
+    def test_align_sector(self):
+        g = DEFAULT_GEOMETRY
+        assert g.align_sector(33) == 32
+        assert g.align_sector(32) == 32
+
+    def test_align_chunk(self):
+        assert DEFAULT_GEOMETRY.align_chunk(257) == 256
+
+    def test_align_page(self):
+        assert DEFAULT_GEOMETRY.align_page(8191) == 4096
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 48))
+def test_index_consistency(addr):
+    """Page/chunk/sector decomposition always recomposes to the alignment."""
+    g = DEFAULT_GEOMETRY
+    page = g.page_of(addr)
+    reassembled = (
+        page * g.page_bytes
+        + g.chunk_in_page(addr) * g.chunk_bytes
+        + g.sector_in_chunk(addr) * g.sector_bytes
+    )
+    assert reassembled == g.align_sector(addr)
+
+
+@given(addr=st.integers(min_value=0, max_value=1 << 48))
+def test_sector_in_page_bounds(addr):
+    g = DEFAULT_GEOMETRY
+    assert 0 <= g.sector_in_page(addr) < g.sectors_per_page
+    assert 0 <= g.chunk_in_page(addr) < g.chunks_per_page
+    assert 0 <= g.sector_in_chunk(addr) < g.sectors_per_chunk
+
+
+@given(
+    page=st.integers(min_value=0, max_value=1 << 30),
+    sector=st.integers(min_value=0, max_value=127),
+)
+def test_sector_addr_bijective(page, sector):
+    g = DEFAULT_GEOMETRY
+    addr = g.sector_addr(page, sector)
+    assert g.page_of(addr) == page
+    assert g.sector_in_page(addr) == sector

@@ -1,0 +1,160 @@
+"""Unit tests for Bonsai Merkle trees (repro.metadata.bmt)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, FreshnessError
+from repro.metadata.bmt import BMTGeometry, BonsaiMerkleTree
+
+
+class TestGeometry:
+    def test_depth(self):
+        assert BMTGeometry(num_leaves=1).depth == 1
+        assert BMTGeometry(num_leaves=8).depth == 1
+        assert BMTGeometry(num_leaves=9).depth == 2
+        assert BMTGeometry(num_leaves=64).depth == 2
+        assert BMTGeometry(num_leaves=4096).depth == 4
+
+    def test_nodes_at_level(self):
+        geom = BMTGeometry(num_leaves=100)
+        assert geom.nodes_at_level(0) == 100
+        assert geom.nodes_at_level(1) == 13
+        assert geom.nodes_at_level(2) == 2
+        assert geom.nodes_at_level(geom.depth) == 1
+
+    def test_parent(self):
+        geom = BMTGeometry(num_leaves=64)
+        assert geom.parent(0, 0) == (1, 0)
+        assert geom.parent(0, 7) == (1, 0)
+        assert geom.parent(0, 8) == (1, 1)
+
+    def test_path_excludes_root(self):
+        geom = BMTGeometry(num_leaves=64)  # depth 2
+        path = geom.path(10)
+        assert path == [(1, 1)]  # only internal non-root level
+
+    def test_path_empty_for_tiny_tree(self):
+        # depth 1: the leaf's parent IS the on-chip root - no memory nodes.
+        assert BMTGeometry(num_leaves=8).path(3) == []
+
+    def test_path_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            BMTGeometry(num_leaves=8).path(8)
+
+    def test_node_ordinal_unique(self):
+        geom = BMTGeometry(num_leaves=512)  # depth 3: levels 1 (64), 2 (8), 3 (1)
+        seen = set()
+        for level in range(1, geom.depth + 1):
+            for idx in range(geom.nodes_at_level(level)):
+                ordinal = geom.node_ordinal(level, idx)
+                assert ordinal not in seen
+                seen.add(ordinal)
+        assert len(seen) == geom.total_internal_nodes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BMTGeometry(num_leaves=0)
+        with pytest.raises(ConfigError):
+            BMTGeometry(num_leaves=4, arity=1)
+
+
+class TestFunctionalTree:
+    def test_fresh_tree_verifies_default_leaves(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+        assert tree.verify(5, b"\x00" * 32)
+
+    def test_update_then_verify(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+        tree.update(5, b"counters-v1" + b"\x00" * 21)
+        assert tree.verify(5, b"counters-v1" + b"\x00" * 21)
+        assert not tree.verify(5, b"\x00" * 32)
+
+    def test_root_changes_on_update(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+        root0 = tree.root
+        tree.update(0, b"x" * 32)
+        assert tree.root != root0
+
+    def test_unrelated_leaves_unaffected(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+        tree.update(0, b"x" * 32)
+        assert tree.verify(63, b"\x00" * 32)
+
+    def test_tampered_internal_node_detected(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+        tree.update(9, b"v1" * 16)
+        tree.tamper_node(1, 1, b"attacker-node")
+        assert not tree.verify(9, b"v1" * 16)
+
+    def test_replayed_leaf_detected(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+        tree.update(9, b"v1" * 16)
+        old = tree.raw_leaf_hash(9)
+        tree.update(9, b"v2" * 16)
+        tree.restore_leaf_hash(9, old)
+        # Even presenting the matching old payload fails: ancestors moved on.
+        assert not tree.verify(9, b"v1" * 16)
+
+    def test_update_refuses_to_launder_replayed_sibling(self):
+        """A legitimate update must not fold a replayed sibling into the new
+        root (the read-verify-modify-write discipline)."""
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=8))  # depth 1
+        tree.update(0, b"v1" * 16)
+        old = tree.raw_leaf_hash(0)
+        tree.update(0, b"v2" * 16)
+        tree.restore_leaf_hash(0, old)  # attacker replays leaf 0
+        with pytest.raises(FreshnessError):
+            tree.update(1, b"other" * 6 + b"xx")
+
+    def test_verify_or_raise(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=8))
+        tree.update(0, b"a" * 32)
+        tree.verify_or_raise(0, b"a" * 32)
+        with pytest.raises(FreshnessError):
+            tree.verify_or_raise(0, b"b" * 32)
+
+    def test_custom_default_leaf(self):
+        default = b"\xff" * 64
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=16), default_leaf=default)
+        assert tree.verify(3, default)
+        assert not tree.verify(3, b"\x00" * 64)
+
+    def test_deep_tree(self):
+        tree = BonsaiMerkleTree(BMTGeometry(num_leaves=600))  # depth 4
+        tree.update(599, b"tail" * 8)
+        assert tree.verify(599, b"tail" * 8)
+        tree.update(0, b"head" * 8)
+        assert tree.verify(599, b"tail" * 8)
+        assert tree.verify(0, b"head" * 8)
+
+
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(0, 63), st.binary(min_size=1, max_size=40)),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_last_write_wins_property(updates):
+    """After any update sequence, each leaf verifies exactly its last value."""
+    tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+    last = {}
+    for leaf, payload in updates:
+        tree.update(leaf, payload)
+        last[leaf] = payload
+    for leaf, payload in last.items():
+        assert tree.verify(leaf, payload)
+
+
+@given(
+    leaf=st.integers(0, 63),
+    payload=st.binary(min_size=1, max_size=40),
+    wrong=st.binary(min_size=1, max_size=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_wrong_payload_never_verifies(leaf, payload, wrong):
+    tree = BonsaiMerkleTree(BMTGeometry(num_leaves=64))
+    tree.update(leaf, payload)
+    if wrong != payload:
+        assert not tree.verify(leaf, wrong)

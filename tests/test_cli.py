@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.experiments import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "nw"])
+        assert args.benchmark == "nw"
+        assert args.models == ["nosec", "baseline", "salus"]
+        assert args.accesses == 20_000
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_run_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nw", "--models", "quantum"])
+
+    def test_figure_all(self):
+        args = build_parser().parse_args(["figure", "all"])
+        assert args.name == "all"
+
+    def test_figure_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "run", "nw", "--accesses", "500", "--seed", "11",
+                "--cxl-bw-ratio", "0.25", "--capacity-ratio", "0.2",
+                "--fill-granularity", "chunk",
+            ]
+        )
+        assert args.accesses == 500
+        assert args.cxl_bw_ratio == pytest.approx(0.25)
+        assert args.fill_granularity == "chunk"
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "nw" in out and "pannotia" in out
+        assert "salus" in out and "fig10" in out
+
+    def test_run_output(self, capsys):
+        code = main(["run", "nw", "--accesses", "800", "--models", "nosec", "salus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ipc_norm" in out
+        assert "salus" in out
+
+    def test_run_with_chunk_fills(self, capsys):
+        code = main(
+            ["run", "nw", "--accesses", "600", "--models", "salus",
+             "--fill-granularity", "chunk"]
+        )
+        assert code == 0
+
+    def test_figure_output(self, capsys):
+        code = main(
+            ["figure", "fig10", "--accesses", "600", "--benchmarks", "nw"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 10" in out
+        assert "geomean_improvement" in out

@@ -1,0 +1,142 @@
+"""Unit tests for system configuration (repro.config)."""
+
+import pytest
+
+from repro.config import GPUConfig, SalusConfig, SecurityConfig, SystemConfig
+from repro.errors import ConfigError
+
+
+class TestGPUConfigTableI:
+    """The volta preset mirrors the paper's Table I machine."""
+
+    def test_defaults(self):
+        gpu = GPUConfig()
+        assert gpu.num_sms == 80
+        assert gpu.warps_per_sm == 64
+        assert gpu.num_channels == 32
+        assert gpu.cxl_bw_ratio == pytest.approx(1 / 16)
+
+    def test_derived_bandwidths(self):
+        gpu = GPUConfig()
+        total_bpc = gpu.device_bandwidth_gbps / gpu.core_clock_ghz
+        assert gpu.device_bytes_per_cycle_per_channel == pytest.approx(
+            total_bpc / 32
+        )
+        assert gpu.cxl_bytes_per_cycle == pytest.approx(total_bpc / 16)
+
+    def test_l2_slice(self):
+        gpu = GPUConfig()
+        assert gpu.l2_slice_bytes * gpu.num_channels == gpu.l2_total_bytes
+
+    def test_sms_per_gpc(self):
+        assert GPUConfig().sms_per_gpc == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sms": 0},
+            {"num_channels": 0},
+            {"cxl_bw_ratio": 0.0},
+            {"cxl_bw_ratio": 1.5},
+            {"device_bandwidth_gbps": -1.0},
+            {"num_sms": 7, "num_gpcs": 2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            GPUConfig(**kwargs)
+
+
+class TestSecurityConfigTableII:
+    def test_defaults(self):
+        sec = SecurityConfig()
+        assert sec.mac_cache_bytes == 2 * 1024       # Table II
+        assert sec.mac_latency_cycles == 40          # Table II
+        assert sec.aes_pipes_per_partition == 1      # Table II
+        assert sec.mac_bits == 56                    # Gueron truncation
+        assert sec.minor_counter_bits == 7
+        assert sec.cxl_minor_counter_bits == 14      # doubled (Figure 6)
+        assert sec.bmt_arity == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mac_cache_bytes": 0},
+            {"bmt_arity": 1},
+            {"mac_bits": 0},
+            {"mac_bits": 65},
+            {"minor_counter_bits": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            SecurityConfig(**kwargs)
+
+
+class TestSalusConfig:
+    def test_full_enables_everything(self):
+        cfg = SalusConfig.full()
+        assert cfg.unified_metadata
+        assert cfg.interleaving_friendly_counters
+        assert cfg.collapsed_counters
+        assert cfg.fetch_on_access
+        assert cfg.fine_dirty_tracking
+
+    def test_unified_only(self):
+        cfg = SalusConfig.unified_only()
+        assert cfg.unified_metadata
+        assert not cfg.interleaving_friendly_counters
+        assert not cfg.fetch_on_access
+
+    def test_optimizations_require_unified(self):
+        with pytest.raises(ConfigError):
+            SalusConfig(unified_metadata=False, collapsed_counters=True)
+
+    def test_collapse_requires_ifsc(self):
+        with pytest.raises(ConfigError):
+            SalusConfig(
+                interleaving_friendly_counters=False, collapsed_counters=True
+            )
+
+    def test_individual_ablations_valid(self):
+        SalusConfig(fetch_on_access=False)
+        SalusConfig(collapsed_counters=False)
+        SalusConfig(fine_dirty_tracking=False)
+
+
+class TestSystemConfig:
+    def test_default_capacity_ratio_is_paper_value(self):
+        assert SystemConfig().device_capacity_ratio == pytest.approx(0.35)
+
+    def test_capacity_ratio_validated(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(device_capacity_ratio=0.0)
+
+    def test_presets_construct(self):
+        for cfg in (SystemConfig.volta(), SystemConfig.bench(), SystemConfig.small()):
+            assert cfg.gpu.num_sms > 0
+
+    def test_bench_preserves_capacity_relationships(self):
+        cfg = SystemConfig.bench()
+        # L2 must stay much smaller than a typical resident set.
+        resident = 512 * cfg.geometry.page_bytes * cfg.device_capacity_ratio
+        assert cfg.gpu.l2_total_bytes < resident
+
+    def test_with_cxl_bw_ratio(self):
+        cfg = SystemConfig.bench().with_cxl_bw_ratio(1 / 4)
+        assert cfg.gpu.cxl_bw_ratio == pytest.approx(0.25)
+        # Everything else is untouched.
+        assert cfg.gpu.num_channels == SystemConfig.bench().gpu.num_channels
+
+    def test_with_capacity_ratio(self):
+        cfg = SystemConfig.bench().with_capacity_ratio(0.2)
+        assert cfg.device_capacity_ratio == pytest.approx(0.2)
+
+    def test_with_salus(self):
+        cfg = SystemConfig.bench().with_salus(SalusConfig.unified_only())
+        assert not cfg.salus.fetch_on_access
+
+    def test_configs_are_hashable(self):
+        # The harness caches runs keyed by config.
+        assert hash(SystemConfig.bench()) == hash(SystemConfig.bench())
+        assert SystemConfig.bench() == SystemConfig.bench()

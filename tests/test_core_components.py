@@ -1,0 +1,191 @@
+"""Unit tests for the Salus core components (repro.core.*)."""
+
+import pytest
+
+from repro.address import DEFAULT_GEOMETRY
+from repro.core.collapsed import CollapsedCXLMetadata
+from repro.core.dirty_tracking import FineDirtyTracking
+from repro.core.fetch_on_access import FetchOnAccessTracker
+from repro.core.ifsc import DeviceCounterGroups
+from repro.core.unified import UnifiedAddressSpace
+from repro.errors import AddressError, SecurityError
+from repro.metadata.mac_store import MacSector
+from repro.migration.dirty import DirtyTracker
+
+GEOM = DEFAULT_GEOMETRY
+
+
+class TestUnifiedAddressSpace:
+    def setup_method(self):
+        self.space = UnifiedAddressSpace(geometry=GEOM, footprint_pages=16)
+
+    def test_coordinates(self):
+        addr = 3 * 4096 + 2 * 256 + 5 * 32
+        coords = self.space.coordinates(addr)
+        assert coords.page == 3
+        assert coords.chunk_in_page == 2
+        assert coords.sector_in_chunk == 5
+        assert coords.cxl_sector_addr == addr
+
+    def test_spatial_iv_is_permanent_address(self):
+        addr = 5 * 4096 + 7 * 32
+        assert self.space.iv_spatial(addr) == addr
+        assert self.space.iv_spatial(addr + 5) == addr  # sector-aligned
+
+    def test_chunk_key(self):
+        assert self.space.chunk_key(4096 + 256) == (1, 1)
+
+    def test_footprint_bounds(self):
+        with pytest.raises(AddressError):
+            self.space.coordinates(16 * 4096)
+        with pytest.raises(AddressError):
+            UnifiedAddressSpace(geometry=GEOM, footprint_pages=0)
+
+
+class TestDeviceCounterGroups:
+    def setup_method(self):
+        self.groups = DeviceCounterGroups(
+            geometry=GEOM, num_channels=4, data_sectors_per_channel=1024
+        )
+
+    def test_install_read_increment(self):
+        self.groups.install(7, epoch=3, cxl_page=2)
+        assert self.groups.read(7, 0).major == 3
+        self.groups.increment(7, 0)
+        assert self.groups.read(7, 0).minor == 1
+        assert self.groups.needs_collapse(7)
+
+    def test_tag_check(self):
+        self.groups.install(7, epoch=3, cxl_page=2)
+        assert self.groups.is_installed_for(7, 2)
+        assert not self.groups.is_installed_for(7, 3)
+        self.groups.drop(7)
+        assert not self.groups.is_installed_for(7, 2)
+
+    def test_counter_sector_unit(self):
+        # Two chunks (16 sectors) per counter sector.
+        assert self.groups.counter_sector_unit(0) == self.groups.counter_sector_unit(15)
+        assert self.groups.counter_sector_unit(15) != self.groups.counter_sector_unit(16)
+
+    def test_bmt_geometry(self):
+        geom = self.groups.bmt_geometry()
+        assert geom.num_leaves == self.groups.layout.num_counter_sectors
+
+    def test_lifecycle_counters(self):
+        self.groups.install(1, 0, 0)
+        self.groups.drop(1)
+        assert self.groups.installs == 1
+        assert self.groups.evictions == 1
+
+
+class TestCollapsedCXLMetadata:
+    def setup_method(self):
+        self.meta = CollapsedCXLMetadata(geometry=GEOM, footprint_pages=8)
+
+    def test_epoch_lifecycle(self):
+        assert self.meta.chunk_epoch(2, 3) == 0
+        self.meta.collapse(2, 3)
+        assert self.meta.chunk_epoch(2, 3) == 1
+        assert self.meta.collapses == 1
+
+    def test_embed_extract_roundtrip(self):
+        sector = MacSector(macs=[1, 2, 3, 4])
+        embedded = self.meta.embed_epoch(sector, epoch=77)
+        assert self.meta.extract_epoch(embedded) == 77
+        assert embedded.macs == [1, 2, 3, 4]  # MACs untouched
+
+    def test_embed_survives_serialization(self):
+        sector = self.meta.embed_epoch(MacSector(), epoch=123456)
+        assert MacSector.unpack(sector.pack()).embedded_major == 123456
+
+    def test_embed_overflow_guard(self):
+        with pytest.raises(SecurityError):
+            self.meta.embed_epoch(MacSector(), epoch=1 << 32)
+
+    def test_one_counter_unit_per_page(self):
+        assert self.meta.counter_sector_unit(3) != self.meta.counter_sector_unit(4)
+        assert self.meta.bmt_geometry().num_leaves == 8
+
+    def test_mac_sector_unit(self):
+        assert self.meta.mac_sector_unit(0, 0) == 0
+        assert self.meta.mac_sector_unit(1, 0) == GEOM.blocks_per_page
+
+
+class TestFetchOnAccessTracker:
+    def setup_method(self):
+        groups = DeviceCounterGroups(
+            geometry=GEOM, num_channels=4, data_sectors_per_channel=1024
+        )
+        self.tracker = FetchOnAccessTracker(groups=groups)
+
+    def test_fill_creates_debt(self):
+        self.tracker.note_fill(page=5, device_chunks=(0, 1, 2))
+        assert self.tracker.needs_fetch(5, 0)
+
+    def test_fetch_clears_debt(self):
+        self.tracker.note_fill(page=5, device_chunks=(0, 1))
+        self.tracker.record_fetch(5, 0, epoch=9)
+        assert not self.tracker.needs_fetch(5, 0)
+        assert self.tracker.needs_fetch(5, 1)
+        assert self.tracker.first_touch_fetches == 1
+
+    def test_avoided_fetches_counted_at_evict(self):
+        self.tracker.note_fill(page=5, device_chunks=(0, 1, 2, 3))
+        self.tracker.record_fetch(5, 0, epoch=0)
+        self.tracker.note_evict(page=5, device_chunks=(0, 1, 2, 3))
+        assert self.tracker.avoided_fetches == 3
+        assert self.tracker.avoidance_rate == pytest.approx(0.75)
+
+    def test_frame_reuse_by_other_page_needs_fetch(self):
+        """The Figure-7 tag mismatch: stale metadata from a previous tenant
+        of the device location must not be accepted."""
+        self.tracker.note_fill(page=5, device_chunks=(0,))
+        self.tracker.record_fetch(5, 0, epoch=0)
+        self.tracker.note_evict(page=5, device_chunks=(0,))
+        self.tracker.note_fill(page=6, device_chunks=(0,))
+        assert self.tracker.needs_fetch(6, 0)
+
+
+class TestFineDirtyTracking:
+    def setup_method(self):
+        self.fine = FineDirtyTracking(tracker=DirtyTracker(16), buffer_entries=2)
+
+    def test_first_write_fetches_mapping(self):
+        cost = self.fine.on_store(page=1, chunk_in_page=0)
+        assert cost.mapping_reads == 1
+        assert cost.mapping_writes == 0
+
+    def test_buffered_writes_free(self):
+        self.fine.on_store(1, 0)
+        cost = self.fine.on_store(1, 5)
+        assert cost.mapping_reads == 0 and cost.mapping_writes == 0
+        assert self.fine.buffered_updates == 1
+
+    def test_buffer_pressure_writes_back(self):
+        self.fine.on_store(1, 0)
+        self.fine.on_store(2, 0)
+        cost = self.fine.on_store(3, 0)
+        assert cost.mapping_writes == 1  # LRU mapping pushed to memory
+
+    def test_consume_on_evict(self):
+        self.fine.on_store(1, 0)
+        self.fine.on_store(1, 7)
+        chunks, extra_reads = self.fine.consume_on_evict(1)
+        assert chunks == (0, 7)
+        assert extra_reads == 0  # freshest mask was buffered
+
+    def test_evict_unbuffered_dirty_needs_read(self):
+        self.fine.on_store(1, 0)
+        self.fine.on_store(2, 0)
+        self.fine.on_store(3, 0)  # page 1 evicted from buffer
+        chunks, extra_reads = self.fine.consume_on_evict(1)
+        assert chunks == (0,)
+        assert extra_reads == 1
+
+    def test_authoritative_mask_shared(self):
+        """The bitmask lives in the shared tracker; mapping traffic is an
+        orthogonal accounting concern."""
+        self.fine.on_store(4, 3)
+        assert self.fine.tracker.dirty_chunks(4) == (3,)
+        assert self.fine.mask_of(4) == (3,)
+        assert self.fine.mask_of(5) is None

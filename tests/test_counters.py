@@ -1,0 +1,217 @@
+"""Unit tests for the four counter organizations (repro.metadata.counters)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CounterOverflowError
+from repro.metadata.counters import (
+    CollapsedCounterStore,
+    ConventionalSplitCounterStore,
+    CounterPair,
+    InterleavingFriendlyCounterStore,
+    MonolithicCounterStore,
+)
+
+
+class TestMonolithic:
+    def test_starts_at_zero(self):
+        store = MonolithicCounterStore()
+        assert store.read(5) == CounterPair(major=0, minor=0)
+
+    def test_increment(self):
+        store = MonolithicCounterStore()
+        assert store.increment(5).pair.major == 1
+        assert store.increment(5).pair.major == 2
+        assert store.read(6).major == 0  # independent sectors
+
+    def test_width_guard(self):
+        store = MonolithicCounterStore(counter_bits=2)
+        store.increment(0)
+        store.increment(0)
+        store.increment(0)
+        with pytest.raises(CounterOverflowError):
+            store.increment(0)
+
+
+class TestConventionalSplit:
+    def test_group_of_32_sectors(self):
+        store = ConventionalSplitCounterStore()
+        assert store.group_index(0) == store.group_index(31)
+        assert store.group_index(31) != store.group_index(32)
+
+    def test_increment_isolated_until_overflow(self):
+        store = ConventionalSplitCounterStore()
+        store.increment(0)
+        assert store.read(0) == CounterPair(0, 1)
+        assert store.read(1) == CounterPair(0, 0)
+
+    def test_minor_overflow_resets_whole_group(self):
+        store = ConventionalSplitCounterStore(minor_bits=3)
+        store.increment(5)  # give a sibling some history
+        result = None
+        for _ in range(8):
+            result = store.increment(0)
+        assert result.overflowed
+        assert result.pair.major == 1
+        # Every sibling under the shared major must re-encrypt.
+        assert result.reencrypt_units == tuple(range(32))
+        # Sibling minors were reset - its old pad can never be reused
+        # because the major moved on.
+        assert store.read(5) == CounterPair(1, 0)
+
+    def test_overflow_written_sector_distinguishable(self):
+        """After reset, the written sector is at minor 1, siblings at 0."""
+        store = ConventionalSplitCounterStore(minor_bits=3)
+        for _ in range(8):
+            result = store.increment(0)
+        assert result.pair == CounterPair(1, 1)
+        assert store.read(0) == CounterPair(1, 1)
+        assert store.read(1) == CounterPair(1, 0)
+
+    def test_set_major_forces_reencrypt_list(self):
+        store = ConventionalSplitCounterStore()
+        siblings = store.set_major(0, 7)
+        assert len(siblings) == 32
+        assert store.read_major(0) == 7
+        # Same major again: no work.
+        assert store.set_major(3, 7) == ()
+
+    def test_pairs_never_repeat_within_group_history(self):
+        """No (major, minor) pair is ever issued twice for one sector."""
+        store = ConventionalSplitCounterStore(minor_bits=3)
+        seen = set()
+        for _ in range(40):
+            pair = store.increment(2).pair
+            assert (pair.major, pair.minor) not in seen
+            seen.add((pair.major, pair.minor))
+
+
+class TestInterleavingFriendly:
+    def test_install_and_tag_check(self):
+        store = InterleavingFriendlyCounterStore()
+        store.install(10, epoch=5, cxl_page=99)
+        assert store.is_installed_for(10, 99)
+        assert not store.is_installed_for(10, 98)
+        assert not store.is_installed_for(11, 99)
+
+    def test_install_resets_minors(self):
+        store = InterleavingFriendlyCounterStore()
+        store.install(0, epoch=3, cxl_page=1)
+        for s in range(8):
+            assert store.read(0, s) == CounterPair(3, 0)
+
+    def test_increment_chunk_local(self):
+        store = InterleavingFriendlyCounterStore()
+        store.install(0, epoch=0, cxl_page=1)
+        store.install(1, epoch=0, cxl_page=2)
+        store.increment(0, 3)
+        assert store.read(0, 3).minor == 1
+        assert store.read(1, 3).minor == 0  # neighbour chunk untouched
+
+    def test_overflow_stays_within_chunk(self):
+        """The Figure-4 guarantee: overflow re-encrypts 8 sectors, never a
+        neighbour chunk from another page."""
+        store = InterleavingFriendlyCounterStore(minor_bits=2)
+        store.install(0, epoch=0, cxl_page=1)
+        result = None
+        for _ in range(4):
+            result = store.increment(0, 0)
+        assert result.overflowed
+        assert result.reencrypt_units == tuple(range(8))
+        assert result.pair == CounterPair(1, 1)
+
+    def test_collapse_predicate(self):
+        store = InterleavingFriendlyCounterStore()
+        store.install(4, epoch=9, cxl_page=2)
+        assert not store.any_minor_nonzero(4)
+        store.increment(4, 7)
+        assert store.any_minor_nonzero(4)
+
+    def test_collapse_predicate_survives_overflow(self):
+        store = InterleavingFriendlyCounterStore(minor_bits=2)
+        store.install(0, epoch=0, cxl_page=1)
+        for _ in range(4):
+            store.increment(0, 0)
+        assert store.any_minor_nonzero(0)
+
+    def test_evict_uninstalls(self):
+        store = InterleavingFriendlyCounterStore()
+        store.install(3, epoch=1, cxl_page=7)
+        store.evict(3)
+        assert not store.is_installed_for(3, 7)
+        with pytest.raises(KeyError):
+            store.read(3, 0)
+
+    def test_read_uninstalled_raises(self):
+        with pytest.raises(KeyError):
+            InterleavingFriendlyCounterStore().read(0, 0)
+
+
+class TestCollapsed:
+    def test_epoch_starts_at_zero(self):
+        store = CollapsedCounterStore()
+        assert store.chunk_epoch(0, 0) == 0
+        assert store.read(0, 0) == CounterPair(0, 0)
+
+    def test_collapse_advances_epoch(self):
+        store = CollapsedCounterStore()
+        e0 = store.chunk_epoch(3, 5)
+        store.collapse(3, 5)
+        assert store.chunk_epoch(3, 5) == e0 + 1
+        assert store.chunk_epoch(3, 6) == 0  # neighbour chunk untouched
+
+    def test_epochs_strictly_increase(self):
+        store = CollapsedCounterStore(minor_bits=3)
+        last = -1
+        for _ in range(30):  # crosses several page-major overflows
+            store.collapse(0, 0)
+            epoch = store.chunk_epoch(0, 0)
+            assert epoch > last
+            last = epoch
+
+    def test_page_major_overflow_reencrypts_page(self):
+        store = CollapsedCounterStore(minor_bits=2, chunks_per_page=4)
+        result = None
+        for _ in range(4):
+            result = store.collapse(0, 1)
+        assert result.overflowed
+        assert result.reencrypt_units == (0, 1, 2, 3)
+
+    def test_major_width_guard(self):
+        store = CollapsedCounterStore(minor_bits=1, major_bits=1, chunks_per_page=2)
+        store.collapse(0, 0)   # minor 0->1
+        store.collapse(0, 0)   # overflow: major 0->1
+        store.collapse(0, 0)   # minor 0->1
+        with pytest.raises(CounterOverflowError):
+            store.collapse(0, 0)  # major would need 2 bits
+
+    @given(ops=st.lists(st.integers(0, 15), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_epoch_monotone_per_chunk(self, ops):
+        """Whatever the collapse interleaving, each chunk's epoch only grows."""
+        store = CollapsedCounterStore()
+        last = {}
+        for chunk in ops:
+            store.collapse(0, chunk)
+            epoch = store.chunk_epoch(0, chunk)
+            assert epoch > last.get(chunk, -1)
+            last[chunk] = epoch
+
+
+@given(
+    increments=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7)), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_ifsc_pairs_never_repeat(increments):
+    """One-time-pad safety across arbitrary chunk/sector write patterns."""
+    store = InterleavingFriendlyCounterStore(minor_bits=3)
+    for chunk in range(4):
+        store.install(chunk, epoch=0, cxl_page=chunk)
+    seen = set()
+    for chunk, sector in increments:
+        pair = store.increment(chunk, sector).pair
+        key = (chunk, sector, pair.major, pair.minor)
+        assert key not in seen
+        seen.add(key)

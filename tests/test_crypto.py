@@ -1,0 +1,187 @@
+"""Unit tests for the crypto substrate (repro.crypto)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr_mode import CounterModeCipher, make_iv
+from repro.crypto.keys import KeySet
+from repro.crypto.mac import truncated_mac, verify_mac
+
+
+class TestAES128:
+    def test_fips197_appendix_b_vector(self):
+        """The FIPS-197 worked example must match exactly."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_block_length_checked(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(b"x" * 15)
+
+    def test_deterministic(self):
+        aes = AES128(bytes(range(16)))
+        assert aes.encrypt_block(bytes(16)) == aes.encrypt_block(bytes(16))
+
+    def test_key_sensitivity(self):
+        p = bytes(16)
+        out1 = AES128(bytes(16)).encrypt_block(p)
+        out2 = AES128(bytes([1] + [0] * 15)).encrypt_block(p)
+        assert out1 != out2
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_plaintext_sensitivity(self, p1, p2):
+        aes = AES128(b"k" * 16)
+        if p1 != p2:
+            assert aes.encrypt_block(p1) != aes.encrypt_block(p2)
+
+
+class TestKeySet:
+    def test_from_seed_deterministic(self):
+        assert KeySet.from_seed(b"a") == KeySet.from_seed(b"a")
+        assert KeySet.from_seed(b"a") != KeySet.from_seed(b"b")
+
+    def test_keys_are_independent(self):
+        ks = KeySet.default()
+        assert ks.encryption_key != ks.mac_key[:16]
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            KeySet(encryption_key=b"x" * 8, mac_key=b"y" * 32)
+        with pytest.raises(ValueError):
+            KeySet(encryption_key=b"x" * 16, mac_key=b"y" * 8)
+
+
+class TestIV:
+    def test_iv_is_one_aes_block(self):
+        assert len(make_iv(0, 0, 0)) == 16
+
+    def test_distinct_components_distinct_ivs(self):
+        base = make_iv(0x1000, 5, 3)
+        assert make_iv(0x1020, 5, 3) != base   # different address
+        assert make_iv(0x1000, 6, 3) != base   # different major
+        assert make_iv(0x1000, 5, 4) != base   # different minor
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_iv(-1, 0, 0)
+
+    @given(
+        a1=st.integers(0, (1 << 40) - 1), m1=st.integers(0, (1 << 30) - 1),
+        n1=st.integers(0, (1 << 14) - 1),
+        a2=st.integers(0, (1 << 40) - 1), m2=st.integers(0, (1 << 30) - 1),
+        n2=st.integers(0, (1 << 14) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_iv_injective(self, a1, m1, n1, a2, m2, n2):
+        """No two distinct (addr, major, minor) triples share an IV.
+
+        This is the one-time-pad-uniqueness property the whole unified
+        security model rests on (paper, "Security Impact").
+        """
+        if (a1, m1, n1) != (a2, m2, n2):
+            assert make_iv(a1, m1, n1) != make_iv(a2, m2, n2)
+
+
+class TestCounterMode:
+    def setup_method(self):
+        self.cipher = CounterModeCipher(KeySet.default().encryption_key)
+
+    def test_roundtrip(self):
+        plaintext = bytes(range(32))
+        ct = self.cipher.crypt_sector(plaintext, 0x2000, 7, 3)
+        assert ct != plaintext
+        assert self.cipher.crypt_sector(ct, 0x2000, 7, 3) == plaintext
+
+    def test_wrong_counter_garbles(self):
+        plaintext = b"secret-data-secret-data-secret!!"
+        ct = self.cipher.crypt_sector(plaintext, 0x2000, 7, 3)
+        assert self.cipher.crypt_sector(ct, 0x2000, 7, 4) != plaintext
+
+    def test_wrong_address_garbles(self):
+        """Same counters at a different address decrypt to garbage - device
+        locations can reuse counter values safely."""
+        plaintext = b"secret-data-secret-data-secret!!"
+        ct = self.cipher.crypt_sector(plaintext, 0x2000, 7, 3)
+        assert self.cipher.crypt_sector(ct, 0x4000, 7, 3) != plaintext
+
+    def test_sector_size_enforced(self):
+        with pytest.raises(ValueError):
+            self.cipher.crypt_sector(b"short", 0, 0, 0)
+
+    def test_otp_precomputable(self):
+        """The pad depends only on (addr, major, minor) - the property that
+        hides decryption latency behind the data fetch."""
+        pad = self.cipher.one_time_pad(0x80, 1, 2)
+        plaintext = b"A" * 32
+        ct = self.cipher.crypt_sector(plaintext, 0x80, 1, 2)
+        assert bytes(a ^ b for a, b in zip(plaintext, pad)) == ct
+
+    @given(
+        data=st.binary(min_size=32, max_size=32),
+        addr=st.integers(0, 1 << 40).map(lambda a: a & ~31),
+        major=st.integers(0, (1 << 32) - 1),
+        minor=st.integers(0, (1 << 14) - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data, addr, major, minor):
+        ct = self.cipher.crypt_sector(data, addr, major, minor)
+        assert self.cipher.crypt_sector(ct, addr, major, minor) == data
+
+
+class TestMAC:
+    def setup_method(self):
+        self.key = KeySet.default().mac_key
+
+    def test_verify_roundtrip(self):
+        mac = truncated_mac(self.key, b"c" * 32, 0x100, 3, 1)
+        assert verify_mac(self.key, b"c" * 32, 0x100, 3, 1, mac)
+
+    def test_tampered_data_fails(self):
+        mac = truncated_mac(self.key, b"c" * 32, 0x100, 3, 1)
+        assert not verify_mac(self.key, b"d" * 32, 0x100, 3, 1, mac)
+
+    def test_wrong_address_fails(self):
+        """Splicing: moving valid ciphertext+MAC to another address fails."""
+        mac = truncated_mac(self.key, b"c" * 32, 0x100, 3, 1)
+        assert not verify_mac(self.key, b"c" * 32, 0x120, 3, 1, mac)
+
+    def test_stale_counter_fails(self):
+        """The counter is bound into the MAC (the BMT-MAC linkage of
+        Section II-A3): a fresh counter with a stale MAC fails."""
+        mac = truncated_mac(self.key, b"c" * 32, 0x100, 3, 1)
+        assert not verify_mac(self.key, b"c" * 32, 0x100, 4, 1, mac)
+
+    def test_fits_56_bits(self):
+        mac = truncated_mac(self.key, b"c" * 32, 0x100, 3, 1, mac_bits=56)
+        assert 0 <= mac < (1 << 56)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            truncated_mac(self.key, b"", 0, 0, 0, mac_bits=0)
+        with pytest.raises(ValueError):
+            truncated_mac(self.key, b"", 0, 0, 0, mac_bits=65)
+
+    def test_key_sensitivity(self):
+        mac = truncated_mac(self.key, b"c" * 32, 0x100, 3, 1)
+        other = KeySet.from_seed(b"other").mac_key
+        assert not verify_mac(other, b"c" * 32, 0x100, 3, 1, mac)
+
+    @given(width=st.integers(min_value=8, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_width_respected(self, width):
+        mac = truncated_mac(self.key, b"z" * 32, 64, 1, 1, mac_bits=width)
+        assert 0 <= mac < (1 << width)

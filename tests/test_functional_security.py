@@ -1,0 +1,232 @@
+"""End-to-end tests of the functional security system (real crypto).
+
+These execute the paper's security argument:
+
+* round-trip correctness through arbitrary migration churn, in both modes;
+* Salus moves ciphertext verbatim (zero migration re-encryptions);
+* the baseline re-encrypts at every move;
+* tampering raises IntegrityError, replay raises FreshnessError;
+* one-time pads never repeat under either design.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ctr_mode import CounterModeCipher
+from repro.errors import FreshnessError, IntegrityError, SecurityError
+from repro.security.functional import FunctionalSecureSystem
+
+
+def make_system(mode="salus", pages=8, frames=2):
+    return FunctionalSecureSystem(footprint_pages=pages, frames=frames, mode=mode)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["salus", "baseline"])
+    def test_simple_write_read(self, mode):
+        system = make_system(mode)
+        system.write(0, b"hello-world-hello-world-hello-w!")
+        assert system.read(0) == b"hello-world-hello-world-hello-w!"
+
+    @pytest.mark.parametrize("mode", ["salus", "baseline"])
+    def test_overwrite(self, mode):
+        system = make_system(mode)
+        system.write(64, b"v1" * 16)
+        system.write(64, b"v2" * 16)
+        assert system.read(64) == b"v2" * 16
+
+    @pytest.mark.parametrize("mode", ["salus", "baseline"])
+    def test_survives_migration_churn(self, mode):
+        system = make_system(mode, pages=12, frames=3)
+        rng = random.Random(42)
+        expected = {}
+        for _ in range(400):
+            addr = rng.randrange(12 * 128) * 32
+            value = bytes(rng.randrange(256) for _ in range(32))
+            system.write(addr, value)
+            expected[addr] = value
+        assert system.stats.evictions > 50  # real churn happened
+        for addr, value in expected.items():
+            assert system.read(addr) == value
+
+    def test_unwritten_sector_reads_deterministically(self):
+        system = make_system()
+        first = system.read(0)
+        assert system.read(0) == first
+
+    def test_sector_size_enforced(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            make_system().write(0, b"short")
+
+
+class TestMigrationReencryption:
+    def test_salus_never_reencrypts_on_migration(self):
+        """The core claim of the unified model (Section IV-A)."""
+        system = make_system("salus", pages=12, frames=2)
+        rng = random.Random(7)
+        for _ in range(300):
+            system.write(rng.randrange(12 * 128) * 32, bytes(32))
+        assert system.stats.fills > 20
+        assert system.stats.migration_reencrypted_sectors == 0
+
+    def test_baseline_reencrypts_every_fill(self):
+        system = make_system("baseline", pages=12, frames=2)
+        rng = random.Random(7)
+        for _ in range(300):
+            system.write(rng.randrange(12 * 128) * 32, bytes(32))
+        assert system.stats.migration_reencrypted_sectors >= (
+            system.stats.fills * system.geometry.sectors_per_page
+        ) - system.geometry.sectors_per_page
+
+    def test_salus_ciphertext_moves_verbatim(self):
+        system = make_system("salus", pages=4, frames=1)
+        system.write(0, b"Q" * 32)
+        system.write(4096, b"x" * 32)  # evicts page 0
+        cxl_bytes = system.cxl_data.read(0)
+        assert system.read(0) == b"Q" * 32  # refaults page 0
+        frame = system.page_cache.frame_of(0)
+        assert system.device_data.read(frame * 128) == cxl_bytes
+
+    def test_salus_fetch_on_access_counts(self):
+        system = make_system("salus", pages=4, frames=2)
+        system.write(0, b"a" * 32)
+        system.write(32, b"b" * 32)   # same chunk: no second fetch
+        system.write(256, b"c" * 32)  # next chunk: one more fetch
+        assert system.stats.metadata_chunks_fetched == 2
+
+    def test_clean_chunks_skip_writeback(self):
+        system = make_system("salus", pages=4, frames=1)
+        system.write(0, b"a" * 32)
+        _ = system.read(4096)      # page 1 evicts page 0 (chunk 0 dirty)
+        epoch_dirty = system.cxl_counters.chunk_epoch(0, 0)
+        epoch_clean = system.cxl_counters.chunk_epoch(0, 1)
+        assert epoch_dirty == 1   # collapsed once
+        assert epoch_clean == 0   # untouched chunk kept its epoch
+
+
+class TestIntegrity:
+    def test_tampered_device_data_detected(self):
+        system = make_system()
+        system.write(0, b"A" * 32)
+        system.tamper_device_sector(0, b"B" * 32)
+        with pytest.raises(IntegrityError):
+            system.read(0)
+
+    def test_tampered_cxl_data_detected_after_refault(self):
+        system = make_system("salus", pages=4, frames=1)
+        system.write(0, b"A" * 32)
+        system.write(4096, b"x" * 32)  # page 0 evicted to CXL
+        system.tamper_cxl_sector(0, b"E" * 32)
+        with pytest.raises(IntegrityError):
+            system.read(0)
+
+    def test_baseline_detects_tampering_at_fill(self):
+        system = make_system("baseline", pages=4, frames=1)
+        system.write(0, b"A" * 32)
+        system.write(4096, b"x" * 32)
+        system.tamper_cxl_sector(0, b"E" * 32)
+        with pytest.raises(IntegrityError):
+            system.read(0)  # baseline verifies during the fill
+
+    def test_bitflip_detected(self):
+        system = make_system()
+        system.write(0, b"A" * 32)
+        frame = system.page_cache.frame_of(0)
+        original = system.device_data.read(frame * 128)
+        flipped = bytes([original[0] ^ 1]) + original[1:]
+        system.tamper_device_sector(0, flipped)
+        with pytest.raises(IntegrityError):
+            system.read(0)
+
+
+class TestFreshness:
+    def test_replayed_chunk_detected(self):
+        """A fully self-consistent stale snapshot (data + MACs + counters +
+        Merkle leaf) still fails: the on-chip root moved on."""
+        system = make_system("salus", pages=4, frames=1)
+        system.write(0, b"old0" * 8)
+        system.write(4096, b"x" * 32)          # page 0 evicted at epoch 1
+        snapshot = system.snapshot_chunk(0)
+        system.write(0, b"new0" * 8)           # refault, rewrite
+        system.write(4096, b"z" * 32)          # evicted again at epoch 2
+        system.replay_chunk(snapshot)
+        with pytest.raises(SecurityError):
+            system.read(0)
+
+    def test_snapshot_restores_cleanly_detectable_state(self):
+        system = make_system("salus", pages=4, frames=1)
+        system.write(0, b"v" * 32)
+        system.write(4096, b"w" * 32)
+        snapshot = system.snapshot_chunk(0)
+        # Replaying the *current* state is a no-op and must still verify.
+        system.replay_chunk(snapshot)
+        assert system.read(0) == b"v" * 32
+
+
+class TestOtpUniqueness:
+    @pytest.mark.parametrize("mode", ["salus", "baseline"])
+    def test_no_iv_reuse_under_churn(self, mode):
+        """Track every IV fed to AES; none may repeat for actual encryption
+        (decryptions legitimately reuse the encryption IV)."""
+        system = make_system(mode, pages=6, frames=2)
+        seen = set()
+        duplicates = []
+        original = CounterModeCipher.one_time_pad
+
+        def tracked(cipher_self, addr, major, minor):
+            return original(cipher_self, addr, major, minor)
+
+        rng = random.Random(3)
+        # Record IVs at write time only (encryption direction).
+        write = system.write
+
+        def write_tracked(addr, data):
+            write(addr, data)
+
+        for _ in range(200):
+            addr = rng.randrange(6 * 128) * 32
+            coords = system.unified.coordinates(addr)
+            write_tracked(addr, bytes(rng.randrange(256) for _ in range(32)))
+            if mode == "salus":
+                frame = system.page_cache.frame_of(coords.page)
+                device_chunk = (
+                    frame * system.geometry.chunks_per_page + coords.chunk_in_page
+                )
+                pair = system.device_groups.read(device_chunk, coords.sector_in_chunk)
+                iv = (coords.cxl_sector_addr, pair.major, pair.minor)
+            else:
+                frame = system.page_cache.frame_of(coords.page)
+                dev_sector = frame * 128 + system.geometry.sector_in_page(addr)
+                pair = system.device_counters_conv.read(dev_sector)
+                iv = (dev_sector * 32, pair.major, pair.minor)
+            if iv in seen:
+                duplicates.append(iv)
+            seen.add(iv)
+        assert not duplicates
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 8 * 128 - 1),  # sector index within footprint
+            st.binary(min_size=32, max_size=32),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=10, deadline=None)
+def test_salus_functional_model_property(ops):
+    """Arbitrary op sequences: last write wins, zero migration re-encryption."""
+    system = make_system("salus", pages=8, frames=2)
+    expected = {}
+    for sector, value in ops:
+        system.write(sector * 32, value)
+        expected[sector * 32] = value
+    for addr, value in expected.items():
+        assert system.read(addr) == value
+    assert system.stats.migration_reencrypted_sectors == 0

@@ -1,0 +1,188 @@
+"""End-to-end tests of the trace-driven simulator (repro.gpu.gpusim)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import TraceError
+from repro.harness.runner import model_factory, run_model
+from repro.gpu.gpusim import GpuSim
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.interconnect import Interconnect
+from repro.memsys.request import Access, MemoryRequest
+from repro.sim.stats import Side, TrafficCategory
+from repro.workloads.generators import WorkloadSpec, generate_trace
+from repro.workloads.trace import Trace
+
+
+CFG = SystemConfig.small()
+
+
+def make_trace(addresses, footprint_pages=64, writes=(), cpm=2):
+    reqs = [
+        MemoryRequest(a, Access.WRITE if i in writes else Access.READ, sm=i % 4)
+        for i, a in enumerate(addresses)
+    ]
+    return Trace(
+        name="crafted", footprint_pages=footprint_pages,
+        compute_per_mem=cpm, requests=reqs,
+    )
+
+
+def run(trace, model="nosec", config=CFG):
+    sim = GpuSim(config, trace.footprint_pages, model_factory(model))
+    return sim, sim.run(trace, compute_per_mem=trace.compute_per_mem,
+                        workload_name=trace.name)
+
+
+class TestSM:
+    def test_issue_and_complete(self):
+        sm = StreamingMultiprocessor(0, warps=2)
+        t0 = sm.issue(0, block_instructions=3)
+        assert t0 == 0
+        assert sm.clock == 3
+        sm.complete(0, 50)
+        t1 = sm.issue(0, block_instructions=3)
+        assert t1 == 50  # warp was blocked on memory
+        t2 = sm.issue(1, block_instructions=3)
+        assert t2 == 53  # other warp waits only for the issue slot
+
+    def test_instruction_accounting(self):
+        sm = StreamingMultiprocessor(0, warps=2)
+        sm.issue(0, 5)
+        sm.issue(1, 5)
+        assert sm.instructions == 10
+
+    def test_drain_cycle(self):
+        sm = StreamingMultiprocessor(0, warps=2)
+        sm.issue(0, 1)
+        sm.complete(0, 99)
+        assert sm.drain_cycle == 99
+
+
+class TestInterconnect:
+    def test_latency(self):
+        ic = Interconnect(num_gpcs=2, latency_cycles=20)
+        assert ic.traverse(0, 0) == 20
+
+    def test_port_serialization(self):
+        ic = Interconnect(num_gpcs=2, latency_cycles=20)
+        a = ic.traverse(0, 0)
+        b = ic.traverse(0, 0)
+        c = ic.traverse(0, 1)
+        assert b == a + 1    # same port: one per cycle
+        assert c == a        # other port: parallel
+
+
+class TestSimulation:
+    def test_empty_trace(self):
+        trace = Trace(name="empty", footprint_pages=4, compute_per_mem=0)
+        _, result = run(trace)
+        assert result.cycles == 0
+        assert result.ipc == 0.0
+
+    def test_single_access_triggers_fill(self):
+        trace = make_trace([0])
+        sim, result = run(trace)
+        assert result.fills == 1
+        assert result.evictions == 0
+        assert result.stats.bytes_for(Side.CXL, TrafficCategory.DATA) == 4096
+
+    def test_trace_addresses_validated(self):
+        trace = make_trace([4096 * 64])  # beyond 64-page footprint
+        with pytest.raises(TraceError):
+            run(trace)
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(name="d", footprint_pages=64)
+        trace = generate_trace(spec, 1500, num_sms=CFG.gpu.num_sms)
+        _, r1 = run(trace, "salus")
+        _, r2 = run(trace, "salus")
+        assert r1.cycles == r2.cycles
+        assert r1.stats.breakdown() == r2.stats.breakdown()
+
+    def test_repeated_access_hits_l2(self):
+        trace = make_trace([0] * 50)
+        sim, result = run(trace)
+        assert result.fills == 1
+        # The fill wrote the page into device memory; after that, only the
+        # first access fetched its sector from DRAM - the rest hit L2.
+        assert result.stats.bytes_for(Side.DEVICE, TrafficCategory.DATA) == 4096 + 32
+
+    def test_capacity_pressure_causes_evictions(self):
+        # 64-page footprint, 35% ratio -> 22 frames: touch 30 pages.
+        trace = make_trace([p * 4096 for p in range(30)])
+        _, result = run(trace)
+        assert result.fills == 30
+        assert result.evictions == 30 - 22
+
+    def test_writes_do_not_block_warps(self):
+        reads = make_trace([i * 4096 for i in range(8)])
+        writes = make_trace([i * 4096 for i in range(8)], writes=set(range(8)))
+        _, r_reads = run(reads)
+        _, r_writes = run(writes)
+        assert r_writes.cycles <= r_reads.cycles
+
+    def test_dirty_page_writes_back(self):
+        # Write page 0, then sweep 24 other pages to force its eviction.
+        addresses = [0] + [p * 4096 for p in range(1, 25)]
+        trace = make_trace(addresses, writes={0})
+        _, result = run(trace)
+        tx = result.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+        fills = result.fills
+        assert tx > fills * 4096  # fill RX plus at least one writeback TX
+
+    def test_mapping_hit_rate_reported(self):
+        trace = make_trace([0] * 20)
+        _, result = run(trace)
+        # One cold miss per GPC cache, hits thereafter.
+        assert result.counters["mapping_hit_rate"] >= 0.9
+
+    def test_instructions_include_compute(self):
+        trace = make_trace([0, 32, 64], cpm=9)
+        _, result = run(trace)
+        assert result.stats.instructions == 3 * 10
+
+
+class TestModelOrdering:
+    """The paper's macro relationships on a small crafted workload."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        spec = WorkloadSpec(
+            name="mini-nw", footprint_pages=96, chunk_coverage=0.2,
+            concurrent_pages=8, write_fraction=0.3,
+            sectors_per_chunk_touched=4, reuse=2, compute_per_mem=8,
+        )
+        trace = generate_trace(spec, 4000, num_sms=CFG.gpu.num_sms)
+        return {
+            m: run_model(CFG, trace, m)
+            for m in ("nosec", "baseline", "salus", "baseline-freemove")
+        }
+
+    def test_nosec_is_fastest(self, results):
+        assert results["nosec"].ipc >= results["baseline"].ipc
+        assert results["nosec"].ipc >= results["salus"].ipc
+
+    def test_salus_beats_baseline_on_sparse_workload(self, results):
+        assert results["salus"].ipc > results["baseline"].ipc
+
+    def test_salus_cuts_security_traffic(self, results):
+        assert (
+            results["salus"].stats.security_bytes()
+            < 0.7 * results["baseline"].stats.security_bytes()
+        )
+
+    def test_free_migration_bounds_baseline(self, results):
+        assert results["baseline-freemove"].ipc > results["baseline"].ipc
+
+    def test_nosec_has_zero_security_traffic(self, results):
+        assert results["nosec"].stats.security_bytes() == 0
+
+    def test_same_migration_counts_across_models(self, results):
+        fills = {m: r.fills for m, r in results.items()}
+        assert len(set(fills.values())) == 1  # identical residency behaviour
+
+    def test_salus_lower_cxl_security_share(self, results):
+        salus = results["salus"].stats.security_bytes(Side.CXL)
+        base = results["baseline"].stats.security_bytes(Side.CXL)
+        assert salus < base

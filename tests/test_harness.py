@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (runner, report, experiments)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.harness.experiments import (
+    cached_run,
+    clear_cache,
+    run_ablation,
+    run_fig03_motivation,
+    run_fig10_ipc,
+    run_fig11_traffic,
+    run_fig12_bandwidth,
+    run_fig13_cxl_bw,
+    run_fig14_footprint,
+)
+from repro.harness.report import format_table, geomean, normalized
+from repro.harness.runner import MODEL_NAMES, model_factory, run_benchmark, run_model
+from repro.workloads.suite import build_trace
+
+# A deliberately tiny setup so every figure function runs in seconds.
+CFG = SystemConfig.small()
+FAST = dict(config=CFG, benchmarks=("nw", "sgemm"), n_accesses=1200, seed=3)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestReportHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_format_table(self):
+        text = format_table(
+            ("name", "value"), [("a", 1.5), ("bb", 2.0)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "1.5000" in text
+
+    def test_normalized(self):
+        out = normalized({"a": 2.0, "b": 4.0}, basis="a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ValueError):
+            normalized({"a": 0.0}, basis="a")
+
+
+class TestRunner:
+    def test_all_model_names_resolve(self):
+        for name in MODEL_NAMES:
+            assert callable(model_factory(name))
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigError):
+            model_factory("quantum")
+
+    def test_run_model_labels_result(self):
+        trace = build_trace("nw", n_accesses=400, num_sms=CFG.gpu.num_sms, scale=0.1)
+        result = run_model(CFG, trace, "salus-nofoa")
+        assert result.model == "salus-nofoa"
+        assert result.workload == "nw"
+        assert result.cycles > 0
+
+    def test_run_benchmark_default_models(self):
+        trace = build_trace("nw", n_accesses=400, num_sms=CFG.gpu.num_sms, scale=0.1)
+        results = run_benchmark(CFG, trace)
+        assert set(results) == {"nosec", "baseline", "salus"}
+
+
+class TestFigureRunners:
+    def test_cached_run_reuses(self):
+        r1 = cached_run(CFG, "nw", "nosec", 1200, 3)
+        r2 = cached_run(CFG, "nw", "nosec", 1200, 3)
+        assert r1 is r2
+
+    def test_fig03(self):
+        result = run_fig03_motivation(**FAST)
+        assert len(result.rows) == 2
+        assert result.summary["geomean_slowdown"] > 1.0
+
+    def test_fig10(self):
+        result = run_fig10_ipc(**FAST)
+        assert result.figure == "fig10"
+        for _, base, salus, improvement in result.rows:
+            assert 0 < base <= 1.2
+            assert improvement == pytest.approx(salus / base)
+        assert "geomean_improvement" in result.summary
+
+    def test_fig11(self):
+        result = run_fig11_traffic(**FAST)
+        for _, base_mb, salus_mb, ratio in result.rows:
+            assert ratio == pytest.approx(salus_mb / base_mb)
+        assert result.summary["mean_normalized_traffic"] < 1.0
+
+    def test_fig12(self):
+        result = run_fig12_bandwidth(**FAST)
+        assert len(result.rows) == 2
+        assert "mean_cxl_usage_reduction" in result.summary
+
+    def test_fig13(self):
+        result = run_fig13_cxl_bw(ratios=(1 / 16, 1 / 4), **FAST)
+        assert [row[0] for row in result.rows] == ["1/16", "1/4"]
+
+    def test_fig14(self):
+        result = run_fig14_footprint(capacity_ratios=(0.35, 0.5), **FAST)
+        assert len(result.rows) == 2
+
+    def test_ablation(self):
+        result = run_ablation(**FAST)
+        variants = [row[0] for row in result.rows]
+        assert variants[0] == "baseline"
+        assert variants[-1] == "salus"
+        assert len(variants) == 6
+
+    def test_to_text_renders(self):
+        result = run_fig10_ipc(**FAST)
+        text = result.to_text()
+        assert "Fig. 10" in text
+        assert "geomean_improvement" in text

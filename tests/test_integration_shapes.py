@@ -1,0 +1,135 @@
+"""Integration tests for the paper's qualitative shapes at test scale.
+
+Small, fast simulations asserting the *mechanism-level* relationships each
+Salus optimization is supposed to produce (the full magnitudes are the
+benchmarks' job; see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.runner import run_model
+from repro.sim.stats import Side, TrafficCategory
+from repro.workloads.generators import WorkloadSpec, generate_trace
+
+CFG = SystemConfig.small()
+
+
+def make_trace(coverage=0.25, writes=0.3, pages=96, n=4000, concurrent=8, reuse=2):
+    spec = WorkloadSpec(
+        name="shape", footprint_pages=pages, chunk_coverage=coverage,
+        concurrent_pages=concurrent, write_fraction=writes,
+        sectors_per_chunk_touched=4, reuse=reuse, compute_per_mem=6,
+    )
+    return generate_trace(spec, n, num_sms=CFG.gpu.num_sms)
+
+
+class TestFetchOnAccessShape:
+    def test_sparse_coverage_cuts_link_mac_traffic(self):
+        """Fetch-on-access skips MAC movement for untouched chunks; with
+        20%-coverage pages, most MAC bytes never cross the link."""
+        trace = make_trace(coverage=0.2)
+        full = run_model(CFG, trace, "salus")
+        nofoa = run_model(CFG, trace, "salus-nofoa")
+        mac_full = full.stats.bytes_for(Side.CXL, TrafficCategory.MAC)
+        mac_nofoa = nofoa.stats.bytes_for(Side.CXL, TrafficCategory.MAC)
+        assert mac_full < 0.5 * mac_nofoa
+
+    def test_dense_coverage_no_advantage(self):
+        """With every chunk touched, laziness saves (almost) nothing."""
+        trace = make_trace(coverage=1.0)
+        full = run_model(CFG, trace, "salus")
+        nofoa = run_model(CFG, trace, "salus-nofoa")
+        mac_full = full.stats.bytes_for(Side.CXL, TrafficCategory.MAC)
+        mac_nofoa = nofoa.stats.bytes_for(Side.CXL, TrafficCategory.MAC)
+        assert mac_full >= 0.9 * mac_nofoa
+
+
+class TestFineDirtyTrackingShape:
+    def test_write_light_workload_writes_back_less(self):
+        """A page with one dirty chunk writes 256 B back, not 4 KiB."""
+        trace = make_trace(coverage=0.2, writes=0.15)
+        fine = run_model(CFG, trace, "salus")
+        coarse = run_model(CFG, trace, "salus-coarsedirty")
+        tx_fine = fine.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+        tx_coarse = coarse.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+        assert tx_fine < tx_coarse
+
+
+class TestCollapsedCountersShape:
+    def test_collapse_removes_dedicated_counter_transfers(self):
+        trace = make_trace()
+        full = run_model(CFG, trace, "salus")
+        nocollapse = run_model(CFG, trace, "salus-nocollapse")
+        ctr_full = full.stats.bytes_for(Side.CXL, TrafficCategory.COUNTER)
+        ctr_nocollapse = nocollapse.stats.bytes_for(Side.CXL, TrafficCategory.COUNTER)
+        assert ctr_full < ctr_nocollapse
+
+
+class TestMotivationShape:
+    def test_migration_security_is_the_dominant_baseline_cost(self):
+        """Fig. 3's point at test scale: making migration security free
+        recovers most of the baseline's loss versus no security."""
+        trace = make_trace(coverage=0.3, writes=0.3)
+        nosec = run_model(CFG, trace, "nosec")
+        baseline = run_model(CFG, trace, "baseline")
+        freemove = run_model(CFG, trace, "baseline-freemove")
+        loss_total = nosec.ipc - baseline.ipc
+        loss_demand_only = nosec.ipc - freemove.ipc
+        assert loss_total > 0
+        assert loss_demand_only < 0.5 * loss_total
+
+
+class TestCapacityShape:
+    @pytest.mark.parametrize("ratio_pair", [(0.2, 1.0)])
+    def test_more_capacity_less_migration(self, ratio_pair):
+        tight, roomy = ratio_pair
+        # Several passes over a small footprint so revisits dominate.
+        trace = make_trace(pages=48, n=6000, coverage=0.4)
+        tight_run = run_model(CFG.with_capacity_ratio(tight), trace, "salus")
+        roomy_run = run_model(CFG.with_capacity_ratio(roomy), trace, "salus")
+        assert roomy_run.fills == 48          # everything fits: cold fills only
+        assert tight_run.fills > roomy_run.fills
+        assert tight_run.evictions > roomy_run.evictions
+
+
+class TestHeadlineCanary:
+    """A moderate-scale canary pinning the headline result's direction.
+
+    Runs the paper's biggest winner (nw) on the real bench configuration at
+    one third of benchmark scale; if a model change flips who wins or erodes
+    the traffic reduction, this fails long before anyone re-runs the full
+    figure suite.
+    """
+
+    def test_nw_headline(self):
+        from repro.workloads.suite import build_trace
+
+        config = SystemConfig.bench()
+        trace = build_trace("nw", n_accesses=20_000, num_sms=config.gpu.num_sms)
+        nosec = run_model(config, trace, "nosec")
+        baseline = run_model(config, trace, "baseline")
+        salus = run_model(config, trace, "salus")
+        # Salus clearly beats the baseline on the paper's best benchmark...
+        assert salus.ipc > 1.3 * baseline.ipc
+        # ...without beating the unprotected system...
+        assert salus.ipc <= nosec.ipc
+        # ...while cutting security traffic by more than half.
+        assert salus.stats.security_bytes() < 0.5 * baseline.stats.security_bytes()
+
+
+class TestTrafficConservation:
+    def test_fill_bytes_match_fill_count(self):
+        """Every fill moves exactly one page of data across the link RX."""
+        trace = make_trace(writes=0.0)  # no writebacks to muddy TX/RX
+        result = run_model(CFG, trace, "nosec")
+        rx = result.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+        assert rx == result.fills * CFG.geometry.page_bytes
+
+    def test_identical_residency_across_all_models(self):
+        trace = make_trace()
+        fills = {
+            m: run_model(CFG, trace, m).fills
+            for m in ("nosec", "baseline", "salus", "salus-unified")
+        }
+        assert len(set(fills.values())) == 1

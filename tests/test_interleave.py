@@ -1,0 +1,102 @@
+"""Unit tests for channel interleaving (repro.memsys.interleave)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.address import DEFAULT_GEOMETRY, Geometry
+from repro.errors import AddressError
+from repro.memsys.interleave import Interleaver
+
+
+class TestChunkMapping:
+    def setup_method(self):
+        self.il = Interleaver(DEFAULT_GEOMETRY, num_channels=16)
+
+    def test_consecutive_chunks_hit_consecutive_channels(self):
+        channels = [self.il.device_chunk_location(0, c)[0] for c in range(16)]
+        assert channels == list(range(16))
+
+    def test_frames_rotate_start_channel(self):
+        """Frame 1 (with 16 chunks over 16 channels) starts where frame 0
+        ended - continuous round-robin, no partition camping."""
+        ch_frame0_chunk0 = self.il.device_chunk_location(0, 0)[0]
+        ch_frame1_chunk0 = self.il.device_chunk_location(1, 0)[0]
+        # 16 chunks per page over 16 channels: wraps to the same channel but
+        # a different local slot.
+        assert ch_frame0_chunk0 == ch_frame1_chunk0
+        assert (
+            self.il.device_chunk_location(0, 0)[1]
+            != self.il.device_chunk_location(1, 0)[1]
+        )
+
+    def test_page_covers_all_channels(self):
+        assert self.il.channels_per_page == 16
+        assert len(self.il.channels_of_page(0)) == 16
+
+    def test_fewer_channels_than_chunks(self):
+        il = Interleaver(DEFAULT_GEOMETRY, num_channels=8)
+        assert il.channels_per_page == 8
+        # Each channel holds exactly two of the page's chunks.
+        from collections import Counter
+        counts = Counter(il.device_chunk_location(0, c)[0] for c in range(16))
+        assert all(v == 2 for v in counts.values())
+
+    def test_bounds(self):
+        with pytest.raises(AddressError):
+            self.il.device_chunk_location(-1, 0)
+        with pytest.raises(AddressError):
+            self.il.device_chunk_location(0, 16)
+        with pytest.raises(AddressError):
+            Interleaver(DEFAULT_GEOMETRY, num_channels=0)
+
+
+class TestSectorMapping:
+    def setup_method(self):
+        self.il = Interleaver(DEFAULT_GEOMETRY, num_channels=16)
+
+    def test_sectors_of_chunk_share_channel(self):
+        base = self.il.device_sector_location(0, 0)
+        for s in range(8):
+            channel, slot = self.il.device_sector_location(0, s)
+            assert channel == base[0]
+            assert slot == base[1] + s
+
+    def test_sector_crosses_to_next_channel_at_chunk_boundary(self):
+        ch7 = self.il.device_sector_location(0, 7)[0]
+        ch8 = self.il.device_sector_location(0, 8)[0]
+        assert ch8 == (ch7 + 1) % 16
+
+
+@given(
+    frames=st.integers(1, 64),
+    channels=st.sampled_from([2, 4, 8, 16, 32]),
+)
+@settings(max_examples=40, deadline=None)
+def test_mapping_is_bijective_per_channel(frames, channels):
+    """Distinct (frame, chunk) pairs never collide in (channel, slot)."""
+    il = Interleaver(DEFAULT_GEOMETRY, channels)
+    seen = set()
+    for frame in range(frames):
+        for chunk in range(DEFAULT_GEOMETRY.chunks_per_page):
+            loc = il.device_chunk_location(frame, chunk)
+            assert loc not in seen
+            seen.add(loc)
+
+
+@given(channels=st.sampled_from([2, 4, 8, 16, 32]))
+@settings(max_examples=10, deadline=None)
+def test_load_balanced(channels):
+    """Over many frames, chunks distribute exactly evenly over channels."""
+    from collections import Counter
+
+    il = Interleaver(DEFAULT_GEOMETRY, channels)
+    counts = Counter()
+    for frame in range(channels):  # one full rotation
+        for chunk in range(DEFAULT_GEOMETRY.chunks_per_page):
+            counts[il.device_chunk_location(frame, chunk)[0]] += 1
+    assert len(set(counts.values())) == 1
+
+
+def test_custom_geometry():
+    il = Interleaver(Geometry(page_bytes=2048), num_channels=4)
+    assert il.channels_per_page == 4

@@ -1,0 +1,64 @@
+"""Unit tests for L2 slices and MSHR merging (repro.memsys.l2cache)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import ConfigError
+from repro.memsys.l2cache import L2Slice
+
+
+def make_slice(mshrs=4):
+    gpu = GPUConfig(
+        num_sms=4, num_gpcs=2, warps_per_sm=4, num_channels=4,
+        l2_total_bytes=16 * 1024, l2_mshrs_per_slice=mshrs,
+        device_bandwidth_gbps=128.0,
+    )
+    return L2Slice(0, gpu, sector_bytes=32, line_bytes=128)
+
+
+class TestL2Slice:
+    def test_basic_access(self):
+        slice_ = make_slice()
+        assert not slice_.access(0, 0, write=False).sector_hit
+        assert slice_.access(0, 0, write=False).sector_hit
+
+    def test_write_dirty(self):
+        slice_ = make_slice()
+        slice_.access(0, 1, write=True)
+        evicted = slice_.cache.invalidate_line(0)
+        assert evicted.dirty_sectors == (1,)
+
+    def test_too_small_slice_rejected(self):
+        gpu = GPUConfig(
+            num_sms=4, num_gpcs=2, warps_per_sm=4, num_channels=4,
+            l2_total_bytes=4 * 1024,  # 1 KiB/slice < 16 ways x 128 B
+            device_bandwidth_gbps=128.0,
+        )
+        with pytest.raises(ConfigError):
+            L2Slice(0, gpu, 32, 128)
+
+
+class TestMSHRs:
+    def test_merge_inflight(self):
+        slice_ = make_slice()
+        slice_.register_fill(0, local_block=5, sector=2, completion=100)
+        assert slice_.inflight_completion(10, 5, 2) == 100
+        assert slice_.mshr_merges == 1
+
+    def test_expired_entries_dropped(self):
+        slice_ = make_slice()
+        slice_.register_fill(0, 5, 2, completion=100)
+        assert slice_.inflight_completion(150, 5, 2) is None
+
+    def test_different_sector_not_merged(self):
+        slice_ = make_slice()
+        slice_.register_fill(0, 5, 2, completion=100)
+        assert slice_.inflight_completion(10, 5, 3) is None
+
+    def test_structural_limit(self):
+        slice_ = make_slice(mshrs=2)
+        slice_.register_fill(0, 1, 0, completion=1000)
+        slice_.register_fill(0, 2, 0, completion=1000)
+        slice_.register_fill(0, 3, 0, completion=1000)  # pushes out (1, 0)
+        assert slice_.inflight_completion(0, 1, 0) is None
+        assert slice_.inflight_completion(0, 3, 0) == 1000

@@ -1,0 +1,101 @@
+"""Unit tests for metadata layouts (repro.metadata.layout)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.address import DEFAULT_GEOMETRY
+from repro.metadata.layout import (
+    ConventionalLayout,
+    SalusCXLLayout,
+    SalusDeviceLayout,
+)
+
+GEOM = DEFAULT_GEOMETRY
+
+
+class TestConventionalLayout:
+    def setup_method(self):
+        self.layout = ConventionalLayout(geometry=GEOM, data_sectors=4096)
+
+    def test_counter_sector_covers_32_sectors(self):
+        assert self.layout.counter_sector(0) == self.layout.counter_sector(31)
+        assert self.layout.counter_sector(31) != self.layout.counter_sector(32)
+
+    def test_counter_span_exceeds_interleaving_chunk(self):
+        """The Section IV-A problem: one conventional major covers 1 KiB,
+        i.e. four 256 B chunks that may belong to four different pages."""
+        sectors_covered = 32
+        chunks_covered = sectors_covered // GEOM.sectors_per_chunk
+        assert chunks_covered == 4
+
+    def test_mac_sector_per_block(self):
+        assert self.layout.mac_sector(0) == self.layout.mac_sector(3)
+        assert self.layout.mac_sector(3) != self.layout.mac_sector(4)
+
+    def test_bmt_leaf_is_counter_sector(self):
+        for s in (0, 31, 32, 4095):
+            assert self.layout.bmt_leaf(s) == self.layout.counter_sector(s)
+
+    def test_num_counter_sectors(self):
+        assert self.layout.num_counter_sectors == 128
+        assert ConventionalLayout(geometry=GEOM, data_sectors=33).num_counter_sectors == 2
+
+    def test_bmt_geometry(self):
+        assert self.layout.bmt_geometry().num_leaves == 128
+
+
+class TestSalusDeviceLayout:
+    def setup_method(self):
+        self.layout = SalusDeviceLayout(geometry=GEOM, data_sectors=4096)
+
+    def test_counter_sector_covers_two_chunks(self):
+        """Figure 4: one 32 B counter sector = two tagged groups = 512 B."""
+        assert self.layout.counter_sector(0) == self.layout.counter_sector(15)
+        assert self.layout.counter_sector(15) != self.layout.counter_sector(16)
+
+    def test_group_in_sector_alternates_per_chunk(self):
+        assert self.layout.group_in_sector(0) == 0
+        assert self.layout.group_in_sector(8) == 1
+        assert self.layout.group_in_sector(16) == 0
+
+    def test_twice_the_counter_sectors_of_conventional(self):
+        conventional = ConventionalLayout(geometry=GEOM, data_sectors=4096)
+        assert self.layout.num_counter_sectors == 2 * conventional.num_counter_sectors
+
+    def test_mac_layout_unchanged(self):
+        conventional = ConventionalLayout(geometry=GEOM, data_sectors=4096)
+        for s in (0, 5, 100):
+            assert self.layout.mac_sector(s) == conventional.mac_sector(s)
+
+
+class TestSalusCXLLayout:
+    def setup_method(self):
+        # 32 pages of footprint.
+        self.layout = SalusCXLLayout(geometry=GEOM, data_sectors=32 * 128)
+
+    def test_one_counter_sector_per_page(self):
+        assert self.layout.counter_sector(0) == self.layout.counter_sector(127)
+        assert self.layout.counter_sector(127) != self.layout.counter_sector(128)
+        assert self.layout.num_counter_sectors == 32
+
+    def test_four_times_smaller_than_conventional(self):
+        """Figure 6's point: the collapsed counter space is much smaller -
+        one sector per 4 KiB page instead of one per 1 KiB span (4x)."""
+        conventional = ConventionalLayout(geometry=GEOM, data_sectors=32 * 128)
+        assert conventional.num_counter_sectors == 4 * self.layout.num_counter_sectors
+
+    def test_bmt_shallower_or_equal(self):
+        big = ConventionalLayout(geometry=GEOM, data_sectors=4096 * 128)
+        small = SalusCXLLayout(geometry=GEOM, data_sectors=4096 * 128)
+        assert small.bmt_geometry().depth <= big.bmt_geometry().depth
+
+
+@given(sector=st.integers(0, 4095))
+@settings(max_examples=100, deadline=None)
+def test_layout_indices_in_range(sector):
+    for layout in (
+        ConventionalLayout(geometry=GEOM, data_sectors=4096),
+        SalusDeviceLayout(geometry=GEOM, data_sectors=4096),
+        SalusCXLLayout(geometry=GEOM, data_sectors=4096),
+    ):
+        assert 0 <= layout.counter_sector(sector) < layout.num_counter_sectors
+        assert layout.mac_sector(sector) == sector // 4

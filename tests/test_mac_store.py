@@ -1,0 +1,93 @@
+"""Unit tests for MAC sectors and the embedded-major slot."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.metadata.mac_store import (
+    EMBED_BITS,
+    MAC_BITS,
+    MAC_SECTOR_BYTES,
+    MACS_PER_SECTOR,
+    MacSector,
+    MacStore,
+)
+
+
+class TestLayoutArithmetic:
+    def test_figure5_packing_is_exact(self):
+        """4 x 56-bit MACs + 32-bit embedded major == exactly 32 bytes.
+
+        This is the bit-level fact that makes collapsed-counter embedding
+        free (paper Figure 5)."""
+        assert MACS_PER_SECTOR * MAC_BITS + EMBED_BITS == MAC_SECTOR_BYTES * 8
+
+    def test_pack_length(self):
+        assert len(MacSector().pack()) == 32
+
+
+class TestMacSector:
+    def test_roundtrip(self):
+        sector = MacSector(
+            macs=[0x12345678ABCDEF, 0, (1 << 56) - 1, 42],
+            embedded_major=0xDEADBEEF,
+        )
+        assert MacSector.unpack(sector.pack()) == sector
+
+    def test_mac_width_enforced(self):
+        with pytest.raises(ConfigError):
+            MacSector(macs=[1 << 56, 0, 0, 0])
+
+    def test_embed_width_enforced(self):
+        with pytest.raises(ConfigError):
+            MacSector(embedded_major=1 << 32)
+
+    def test_mac_count_enforced(self):
+        with pytest.raises(ConfigError):
+            MacSector(macs=[0, 0, 0])
+
+    def test_unpack_length_checked(self):
+        with pytest.raises(ConfigError):
+            MacSector.unpack(b"\x00" * 31)
+
+    @given(
+        macs=st.lists(
+            st.integers(0, (1 << 56) - 1), min_size=4, max_size=4
+        ),
+        embedded=st.integers(0, (1 << 32) - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_bijective(self, macs, embedded):
+        sector = MacSector(macs=macs, embedded_major=embedded)
+        back = MacSector.unpack(sector.pack())
+        assert back.macs == macs
+        assert back.embedded_major == embedded
+
+
+class TestMacStore:
+    def test_absent_block_reads_zero(self):
+        store = MacStore()
+        assert store.get_mac(7, 2) == 0
+
+    def test_set_get(self):
+        store = MacStore()
+        store.set_mac(7, 2, 0xABC)
+        assert store.get_mac(7, 2) == 0xABC
+        assert store.get_mac(7, 3) == 0
+
+    def test_peek_does_not_create(self):
+        store = MacStore()
+        assert store.peek(3) is None
+        store.get(3)
+        assert store.peek(3) is not None
+
+    def test_put_replaces(self):
+        store = MacStore()
+        store.put(0, MacSector(macs=[1, 2, 3, 4], embedded_major=9))
+        assert store.get(0).embedded_major == 9
+
+    def test_items(self):
+        store = MacStore()
+        store.set_mac(1, 0, 5)
+        store.set_mac(9, 3, 6)
+        assert {b for b, _ in store.items()} == {1, 9}

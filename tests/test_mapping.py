@@ -1,0 +1,183 @@
+"""Unit tests for CXL-to-GPU mapping machinery (repro.cxl)."""
+
+import pytest
+
+from repro.cxl.device import ExpansionMemory, SectorStore
+from repro.cxl.mapping import MAPPINGS_PER_SECTOR, MappingEntry, MappingTable
+from repro.cxl.mapping_cache import DirtyBuffer, MappingCache, MappingMissHandler
+from repro.errors import AddressError, ConfigError
+
+
+class TestSectorStore:
+    def test_untouched_reads_zero(self):
+        store = SectorStore()
+        assert store.read(100) == b"\x00" * 32
+
+    def test_write_read(self):
+        store = SectorStore()
+        store.write(5, b"a" * 32)
+        assert store.read(5) == b"a" * 32
+        assert 5 in store and 6 not in store
+
+    def test_size_enforced(self):
+        with pytest.raises(AddressError):
+            SectorStore().write(0, b"short")
+
+    def test_discard(self):
+        store = SectorStore()
+        store.write(5, b"a" * 32)
+        store.discard(5)
+        assert store.read(5) == b"\x00" * 32
+
+    def test_negative_index(self):
+        with pytest.raises(AddressError):
+            SectorStore().read(-1)
+
+    def test_expander_capacity(self):
+        mem = ExpansionMemory(capacity_sectors=10)
+        mem.write(9, b"x" * 32)
+        with pytest.raises(AddressError):
+            mem.read(10)
+
+
+class TestMappingTable:
+    def test_entry_lifecycle(self):
+        table = MappingTable(num_pages=8)
+        assert not table.is_resident(3)
+        table.map_page(3, frame=5)
+        assert table.is_resident(3)
+        assert table.entry(3).frame == 5
+
+    def test_unmap_returns_final_dirty_state(self):
+        table = MappingTable(num_pages=8)
+        table.map_page(3, frame=5)
+        table.entry(3).mark_dirty_chunk(2)
+        table.entry(3).mark_dirty_chunk(9)
+        snapshot = table.unmap_page(3)
+        assert snapshot.frame == 5
+        assert snapshot.dirty_chunks(16) == (2, 9)
+        assert snapshot.page_dirty
+        assert not table.is_resident(3)
+        # The live entry was wiped.
+        assert table.entry(3).dirty_mask == 0
+
+    def test_remap_clears_dirty(self):
+        table = MappingTable(num_pages=8)
+        table.map_page(3, frame=5)
+        table.entry(3).mark_dirty_chunk(0)
+        table.unmap_page(3)
+        table.map_page(3, frame=1)
+        assert not table.entry(3).page_dirty
+
+    def test_unmap_non_resident_raises(self):
+        with pytest.raises(AddressError):
+            MappingTable(num_pages=8).unmap_page(0)
+
+    def test_bounds(self):
+        with pytest.raises(AddressError):
+            MappingTable(num_pages=8).entry(8)
+        with pytest.raises(AddressError):
+            MappingTable(num_pages=0)
+
+    def test_mapping_sector_packs_four(self):
+        assert MAPPINGS_PER_SECTOR == 4
+        assert MappingTable.mapping_sector(0) == MappingTable.mapping_sector(3)
+        assert MappingTable.mapping_sector(3) != MappingTable.mapping_sector(4)
+
+
+class TestMappingEntry:
+    def test_dirty_mask(self):
+        entry = MappingEntry(frame=0)
+        entry.mark_dirty_chunk(0)
+        entry.mark_dirty_chunk(15)
+        assert entry.dirty_chunks(16) == (0, 15)
+        entry.clear_dirty()
+        assert entry.dirty_chunks(16) == ()
+        assert not entry.page_dirty
+
+
+class TestMappingCache:
+    def test_128_entries_default(self):
+        assert MappingCache(0).entries == 128
+
+    def test_lru_eviction(self):
+        cache = MappingCache(0, entries=2)
+        cache.install(1, 10)
+        cache.install(2, 20)
+        cache.lookup(1)           # 2 becomes LRU
+        cache.install(3, 30)
+        assert cache.lookup(2) is None
+        assert cache.lookup(1) == 10
+        assert cache.lookup(3) == 30
+
+    def test_hit_rate(self):
+        cache = MappingCache(0)
+        cache.lookup(1)
+        cache.install(1, 5)
+        cache.lookup(1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_invalidate(self):
+        cache = MappingCache(0)
+        cache.install(1, 5)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert cache.lookup(1) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MappingCache(0, entries=0)
+
+
+class TestDirtyBuffer:
+    def test_buffered_writes_are_free(self):
+        buf = DirtyBuffer(entries=4)
+        needed, evicted = buf.note_write(7)
+        assert needed and evicted is None
+        needed, evicted = buf.note_write(7)
+        assert not needed and evicted is None
+
+    def test_lru_eviction_writes_back(self):
+        buf = DirtyBuffer(entries=2)
+        buf.note_write(1)
+        buf.note_write(2)
+        needed, evicted = buf.note_write(3)
+        assert needed
+        assert evicted == 1  # LRU mapping pushed to memory
+
+    def test_recency(self):
+        buf = DirtyBuffer(entries=2)
+        buf.note_write(1)
+        buf.note_write(2)
+        buf.note_write(1)  # refresh 1
+        _, evicted = buf.note_write(3)
+        assert evicted == 2
+
+    def test_drop(self):
+        buf = DirtyBuffer(entries=2)
+        buf.note_write(5)
+        assert buf.drop(5)
+        assert not buf.drop(5)
+        assert 5 not in buf
+
+
+class TestMissHandler:
+    def test_targeted_invalidation(self):
+        """Only the GPCs that were handed a translation get invalidated."""
+        handler = MappingMissHandler(num_gpcs=4)
+        handler.record_fill(0, page=9, frame=1)
+        handler.record_fill(2, page=9, frame=1)
+        handler.record_fill(1, page=7, frame=2)
+        sent = handler.invalidate_page(9)
+        assert sent == 2
+        assert handler.cache_for(0).lookup(9) is None
+        assert handler.cache_for(2).lookup(9) is None
+        assert handler.cache_for(1).lookup(7) == 2  # untouched
+
+    def test_invalidate_unknown_page(self):
+        handler = MappingMissHandler(num_gpcs=2)
+        assert handler.invalidate_page(42) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MappingMissHandler(num_gpcs=0)

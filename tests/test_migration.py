@@ -1,0 +1,218 @@
+"""Unit tests for the migration substrate (page cache, dirty, engine)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cxl.mapping import MappingTable
+from repro.errors import SimulationError
+from repro.migration.dirty import DirtyTracker
+from repro.migration.engine import MigrationEngine
+from repro.migration.page_cache import PageCache
+from repro.migration.policies import FIFOPolicy, LRUPolicy
+
+
+class TestPolicies:
+    def test_lru(self):
+        policy = LRUPolicy()
+        for p in (1, 2, 3):
+            policy.on_insert(p)
+        policy.on_access(1)
+        assert policy.victim() == 2
+
+    def test_fifo_ignores_recency(self):
+        policy = FIFOPolicy()
+        for p in (1, 2, 3):
+            policy.on_insert(p)
+        policy.on_access(1)
+        assert policy.victim() == 1
+
+    def test_remove(self):
+        policy = LRUPolicy()
+        policy.on_insert(1)
+        policy.on_insert(2)
+        policy.on_remove(1)
+        assert policy.victim() == 2
+        assert len(policy) == 1
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(SimulationError):
+            LRUPolicy().victim()
+
+
+class TestPageCache:
+    def test_fill_uses_free_frames_first(self):
+        cache = PageCache(num_frames=2)
+        r1 = cache.fault(10)
+        r2 = cache.fault(11)
+        assert r1.victim_page is None and r2.victim_page is None
+        assert {r1.frame, r2.frame} == {0, 1}
+
+    def test_fault_when_full_evicts_lru(self):
+        cache = PageCache(num_frames=2)
+        cache.fault(10)
+        cache.fault(11)
+        cache.touch(10)
+        result = cache.fault(12)
+        assert result.victim_page == 11
+        assert result.frame == result.victim_frame
+        assert not cache.is_resident(11)
+        assert cache.frame_of(12) == result.victim_frame
+
+    def test_double_fault_rejected(self):
+        cache = PageCache(num_frames=2)
+        cache.fault(10)
+        with pytest.raises(SimulationError):
+            cache.fault(10)
+
+    def test_touch_non_resident_rejected(self):
+        with pytest.raises(SimulationError):
+            PageCache(num_frames=1).touch(5)
+
+    def test_explicit_evict_frees_frame(self):
+        cache = PageCache(num_frames=1)
+        r = cache.fault(10)
+        cache.evict(10)
+        assert cache.free_frame_count == 1
+        assert cache.fault(11).frame == r.frame
+
+    def test_counters(self):
+        cache = PageCache(num_frames=1)
+        cache.fault(1)
+        cache.fault(2)
+        assert cache.fills == 2
+        assert cache.evictions == 1
+
+    @given(pages=st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_residency_bijection_invariant(self, pages):
+        """page->frame and frame->page stay mutually consistent and bounded."""
+        cache = PageCache(num_frames=4)
+        for page in pages:
+            if cache.is_resident(page):
+                cache.touch(page)
+            else:
+                cache.fault(page)
+            assert len(cache.resident_pages) <= 4
+            for p in cache.resident_pages:
+                assert cache.page_in(cache.frame_of(p)) == p
+
+
+class TestDirtyTracker:
+    def test_mark_and_views(self):
+        tracker = DirtyTracker(chunks_per_page=16)
+        assert tracker.mark(3, 5)
+        assert not tracker.mark(3, 5)  # already set
+        tracker.mark(3, 7)
+        assert tracker.dirty_chunks(3) == (5, 7)
+        assert tracker.is_page_dirty(3)
+        assert tracker.dirty_count(3) == 2
+        assert not tracker.is_page_dirty(4)
+
+    def test_clear(self):
+        tracker = DirtyTracker(chunks_per_page=16)
+        tracker.mark(3, 5)
+        old = tracker.clear(3)
+        assert old == 1 << 5
+        assert tracker.dirty_chunks(3) == ()
+
+    def test_bounds(self):
+        tracker = DirtyTracker(chunks_per_page=16)
+        with pytest.raises(ValueError):
+            tracker.mark(0, 16)
+        with pytest.raises(ValueError):
+            DirtyTracker(chunks_per_page=0)
+
+
+class _Recorder:
+    """Test double capturing the engine's callbacks."""
+
+    def __init__(self, fill_latency=100, evict_drain=50):
+        self.fill_latency = fill_latency
+        self.evict_drain = evict_drain
+        self.fills = []
+        self.evicts = []
+
+    def fill(self, now, page, frame):
+        self.fills.append((now, page, frame))
+        return now + self.fill_latency
+
+    def evict(self, now, page, frame, dirty_chunks, page_dirty):
+        self.evicts.append((now, page, frame, dirty_chunks, page_dirty))
+        return now + self.evict_drain
+
+
+def make_engine(frames=2, buffer_pages=8, **kwargs):
+    recorder = _Recorder(**kwargs)
+    engine = MigrationEngine(
+        page_cache=PageCache(frames),
+        mapping=MappingTable(num_pages=64),
+        dirty=DirtyTracker(chunks_per_page=16),
+        fill_cb=recorder.fill,
+        evict_cb=recorder.evict,
+        evict_buffer_pages=buffer_pages,
+    )
+    return engine, recorder
+
+
+class TestMigrationEngine:
+    def test_fault_fills_and_maps(self):
+        engine, recorder = make_engine()
+        frame, ready = engine.ensure_resident(10, page=3)
+        assert ready == 110
+        assert recorder.fills == [(10, 3, frame)]
+        assert engine.mapping.is_resident(3)
+
+    def test_inflight_fill_merging(self):
+        engine, recorder = make_engine()
+        _, ready1 = engine.ensure_resident(0, page=3)
+        _, ready2 = engine.ensure_resident(20, page=3)
+        assert ready2 == ready1  # merged, no second copy
+        assert len(recorder.fills) == 1
+
+    def test_resident_after_fill_completes(self):
+        engine, _ = make_engine()
+        engine.ensure_resident(0, page=3)
+        frame, ready = engine.ensure_resident(500, page=3)
+        assert ready == 500  # long done
+
+    def test_eviction_passes_dirty_state(self):
+        engine, recorder = make_engine(frames=1)
+        engine.ensure_resident(0, page=1)
+        engine.dirty.mark(1, 4)
+        engine.ensure_resident(10, page=2)  # evicts page 1
+        now, page, frame, chunks, page_dirty = recorder.evicts[0]
+        assert page == 1
+        assert chunks == (4,)
+        assert page_dirty
+        # Dirty state was consumed.
+        assert not engine.dirty.is_page_dirty(1)
+
+    def test_writeback_buffer_backpressure(self):
+        """With slow eviction drains, fills eventually stall for buffer room."""
+        engine, _ = make_engine(frames=1, buffer_pages=2, evict_drain=10_000)
+        for i, page in enumerate(range(10)):
+            engine.ensure_resident(i, page=page)
+        assert engine.evict_stall_cycles > 0
+
+    def test_no_backpressure_with_fast_drains(self):
+        engine, _ = make_engine(frames=1, buffer_pages=2, evict_drain=0)
+        for i, page in enumerate(range(10)):
+            engine.ensure_resident(i * 100, page=page)
+        assert engine.evict_stall_cycles == 0
+
+    def test_evict_now(self):
+        engine, recorder = make_engine()
+        engine.ensure_resident(0, page=5)
+        engine.evict_now(50, page=5)
+        assert recorder.evicts[0][1] == 5
+        assert not engine.page_cache.is_resident(5)
+        with pytest.raises(SimulationError):
+            engine.evict_now(60, page=5)
+
+    def test_counts(self):
+        engine, _ = make_engine(frames=1)
+        engine.ensure_resident(0, page=1)
+        engine.ensure_resident(1, page=2)
+        engine.ensure_resident(2, page=3)
+        assert engine.fill_count == 3
+        assert engine.evict_count == 2

@@ -1,0 +1,125 @@
+"""Cross-module invariants taken directly from the paper's figures.
+
+These tests pin the bit-level arithmetic that makes the Salus layouts work
+at all - if any constant drifts, the design claims stop being true, so they
+are asserted here as executable documentation.
+"""
+
+import pytest
+
+from repro.address import DEFAULT_GEOMETRY
+from repro.config import SecurityConfig, SystemConfig
+from repro.metadata.layout import (
+    ConventionalLayout,
+    SalusCXLLayout,
+    SalusDeviceLayout,
+)
+
+GEOM = DEFAULT_GEOMETRY
+SEC = SecurityConfig()
+
+
+class TestFigure4InterleavingFriendlyCounters:
+    """One tagged group per 256 B chunk, two groups per 32 B sector."""
+
+    def test_group_fits_in_half_a_sector(self):
+        group_bits = (
+            SEC.major_counter_bits                        # 32-bit major
+            + GEOM.sectors_per_chunk * SEC.minor_counter_bits  # 8 x 7-bit minors
+            + 32                                          # CXL page tag
+        )
+        assert group_bits <= 16 * 8  # half of a 32 B counter sector
+
+    def test_two_chunks_per_counter_sector(self):
+        layout = SalusDeviceLayout(geometry=GEOM, data_sectors=1024)
+        assert layout.chunks_per_counter_sector == 2
+
+    def test_major_never_shared_across_chunks(self):
+        """The whole point: a group's major covers exactly one interleaving
+        chunk, so chunk movement never entangles other pages' counters."""
+        layout = SalusDeviceLayout(geometry=GEOM, data_sectors=1024)
+        for chunk in range(16):
+            base = chunk * GEOM.sectors_per_chunk
+            groups = {
+                (layout.counter_sector(base + s), layout.group_in_sector(base + s))
+                for s in range(GEOM.sectors_per_chunk)
+            }
+            assert len(groups) == 1  # all 8 sectors in one group...
+        all_groups = {
+            (
+                layout.counter_sector(c * GEOM.sectors_per_chunk),
+                layout.group_in_sector(c * GEOM.sectors_per_chunk),
+            )
+            for c in range(16)
+        }
+        assert len(all_groups) == 16  # ...and every chunk in its own
+
+
+class TestFigure5MacSectorEmbedding:
+    """4 x 56-bit MACs + one 32-bit collapsed major = exactly 32 bytes."""
+
+    def test_exact_packing(self):
+        assert 4 * SEC.mac_bits + SEC.major_counter_bits == 32 * 8
+
+    def test_mac_sector_covers_one_block(self):
+        layout = SalusDeviceLayout(geometry=GEOM, data_sectors=1024)
+        assert layout.mac_sector(0) == layout.mac_sector(3)
+        assert layout.mac_sector(3) != layout.mac_sector(4)
+
+
+class TestFigure6CollapsedCxlCounters:
+    """32-bit page major + 16 doubled (14-bit) per-chunk minors = 32 bytes."""
+
+    def test_exact_packing(self):
+        bits = (
+            SEC.major_counter_bits
+            + GEOM.chunks_per_page * SEC.cxl_minor_counter_bits
+        )
+        assert bits == 32 * 8
+
+    def test_minors_doubled_vs_device_side(self):
+        assert SEC.cxl_minor_counter_bits == 2 * SEC.minor_counter_bits
+
+    def test_one_sector_protects_one_page(self):
+        layout = SalusCXLLayout(geometry=GEOM, data_sectors=8 * 128)
+        assert layout.num_counter_sectors == 8
+
+
+class TestConventionalPacking:
+    """Baseline split counters: 32-bit major + 32 x 7-bit minors = 32 bytes."""
+
+    def test_exact_packing(self):
+        bits = SEC.major_counter_bits + 32 * SEC.minor_counter_bits
+        assert bits == 32 * 8
+
+    def test_span_is_four_chunks(self):
+        """The conventional major covers 1 KiB = four interleaving chunks -
+        the sharing problem Section IV-A1 exists to fix."""
+        layout = ConventionalLayout(geometry=GEOM, data_sectors=1024)
+        sectors_covered = layout.sectors_per_counter
+        assert sectors_covered * GEOM.sector_bytes == 4 * GEOM.chunk_bytes
+
+
+class TestBmtNodePacking:
+    def test_node_holds_arity_hashes(self):
+        """A 64 B node holds 8 x 64-bit child digests."""
+        assert SEC.bmt_node_bytes * 8 == SEC.bmt_arity * 64
+
+
+class TestPaperBandwidthRatios:
+    def test_cxl_is_one_sixteenth_by_default(self):
+        gpu = SystemConfig.volta().gpu
+        assert gpu.cxl_bytes_per_cycle == pytest.approx(
+            gpu.device_bytes_per_cycle_per_channel * gpu.num_channels / 16
+        )
+
+    def test_figure13_sweep_points_constructible(self):
+        base = SystemConfig.bench()
+        for ratio in (1 / 32, 1 / 16, 1 / 8, 1 / 4):
+            assert base.with_cxl_bw_ratio(ratio).gpu.cxl_bw_ratio == pytest.approx(ratio)
+
+    def test_figure14_sweep_points_constructible(self):
+        base = SystemConfig.bench()
+        for ratio in (0.20, 0.35, 0.50):
+            cfg = base.with_capacity_ratio(ratio)
+            assert cfg.device_capacity_ratio == pytest.approx(ratio)

@@ -1,0 +1,254 @@
+"""Hook-level tests of the three timing security models.
+
+These exercise the models directly against a small fabric, asserting the
+paper's qualitative claims at the traffic level: what each model books on a
+fill, an eviction, a demand read and a writeback.
+"""
+
+import pytest
+
+from repro.config import SalusConfig, SystemConfig
+from repro.core.salus import SalusSecurityModel
+from repro.security.baseline import BaselineSecurityModel
+from repro.security.fabric import MemoryFabric
+from repro.security.none import NoSecurityModel
+from repro.sim.stats import Side, StatRegistry, TrafficCategory
+
+
+def make_fabric(footprint_pages=64):
+    return MemoryFabric(SystemConfig.small(), footprint_pages, StatRegistry())
+
+
+def security_bytes(fabric, side=None):
+    return fabric.stats.security_bytes(side)
+
+
+class TestNoSecurity:
+    def test_fill_moves_only_data(self):
+        fabric = make_fabric()
+        model = NoSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        assert fabric.stats.data_bytes(Side.CXL) == fabric.geometry.page_bytes
+        assert security_bytes(fabric) == 0
+
+    def test_read_is_just_data(self):
+        fabric = make_fabric()
+        model = NoSecurityModel(fabric)
+        loc = fabric.locate(0, frame=0)
+        assert model.read_complete(5, loc, data_ready=42) == 42
+
+    def test_clean_eviction_free(self):
+        fabric = make_fabric()
+        model = NoSecurityModel(fabric)
+        drain = model.evict(7, page=3, frame=0, dirty_chunks=(), page_dirty=False)
+        assert drain == 7
+        assert fabric.stats.total_bytes() == 0
+
+    def test_dirty_eviction_writes_whole_page(self):
+        """Coarse dirty bit: one dirty chunk drags the whole page back."""
+        fabric = make_fabric()
+        model = NoSecurityModel(fabric)
+        model.evict(0, page=3, frame=0, dirty_chunks=(2,), page_dirty=True)
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.DATA) == (
+            fabric.geometry.page_bytes
+        )
+
+
+class TestBaseline:
+    def test_fill_moves_metadata_and_reencrypts(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        stats = fabric.stats
+        # Counters and MACs crossed the link...
+        assert stats.bytes_for(Side.CXL, TrafficCategory.COUNTER) > 0
+        assert stats.bytes_for(Side.CXL, TrafficCategory.MAC) >= (
+            fabric.geometry.blocks_per_page * 32
+        )
+        # ...and every sector went through the AES pipes twice.
+        total_aes = sum(e.sectors_processed for e in fabric.aes_engines)
+        assert total_aes == 2 * fabric.geometry.sectors_per_page
+
+    def test_fill_completion_after_data(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric)
+        done = model.fill(0, page=3, frame=0)
+        nosec_fabric = make_fabric()
+        nosec_done = NoSecurityModel(nosec_fabric).fill(0, page=3, frame=0)
+        assert done > nosec_done  # security work extends the fill
+
+    def test_free_migration_variant(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric, free_migration_security=True)
+        model.fill(0, page=3, frame=0)
+        assert security_bytes(fabric) == 0
+
+    def test_dirty_eviction_full_metadata(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric)
+        drain = model.evict(
+            0, page=3, frame=0, dirty_chunks=(0,), page_dirty=True
+        )
+        assert drain > 0
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.MAC) >= (
+            fabric.geometry.blocks_per_page * 32
+        )
+
+    def test_clean_eviction_free(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric)
+        model.evict(0, page=3, frame=0, dirty_chunks=(), page_dirty=False)
+        assert fabric.stats.total_bytes() == 0
+
+    def test_read_books_metadata_legs(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric)
+        loc = fabric.locate(0, frame=0)
+        done = model.read_complete(0, loc, data_ready=10)
+        assert done > 10  # counter fetch + MAC latency on the cold path
+
+    def test_writeback_counts_counter_and_mac(self):
+        fabric = make_fabric()
+        model = BaselineSecurityModel(fabric)
+        loc = fabric.locate(0, frame=0)
+        for _ in range(200):  # enough to overflow 7-bit minors
+            model.writeback(0, loc)
+        assert fabric.stats.counters["baseline.ctr_overflow_reencrypts"] >= 1
+        assert fabric.stats.bytes_for(Side.DEVICE, TrafficCategory.REENC_DATA) > 0
+
+
+class TestSalus:
+    def test_fill_is_pure_data_copy(self):
+        """The headline claim: migration needs no security work at all."""
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        assert security_bytes(fabric) == 0
+        assert sum(e.sectors_processed for e in fabric.aes_engines) == 0
+
+    def test_fill_completion_matches_nosec(self):
+        fabric_s = make_fabric()
+        fabric_n = make_fabric()
+        done_s = SalusSecurityModel(fabric_s).fill(0, page=3, frame=0)
+        done_n = NoSecurityModel(fabric_n).fill(0, page=3, frame=0)
+        assert done_s == done_n
+
+    def test_first_touch_fetches_chunk_metadata(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        loc = fabric.locate(3 * 4096, frame=0)
+        model.read_complete(100, loc, data_ready=110)
+        # One chunk's MAC sectors (2 x 32 B) crossed the link.
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.MAC) == 64
+        assert model.foa.first_touch_fetches == 1
+        # A second read of the same chunk does not refetch.
+        model.read_complete(200, loc, data_ready=210)
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.MAC) == 64
+
+    def test_untouched_chunks_never_fetch(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        loc = fabric.locate(3 * 4096, frame=0)
+        model.read_complete(100, loc, data_ready=110)
+        model.evict(
+            500, page=3, frame=0, dirty_chunks=(), page_dirty=False
+        )
+        # 15 of 16 chunks avoided their metadata movement entirely.
+        assert model.foa.avoided_fetches == 15
+
+    def test_eviction_writes_only_dirty_chunks(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        loc = fabric.locate(3 * 4096, frame=0)
+        model.on_store(50, loc)
+        model.writeback(60, loc)
+        data_before = fabric.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+        model.evict(100, page=3, frame=0, dirty_chunks=(0,), page_dirty=True)
+        data_after = fabric.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+        # One 256 B chunk, not a 4 KiB page.
+        assert data_after - data_before == fabric.geometry.chunk_bytes
+
+    def test_collapse_advances_epoch(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        loc = fabric.locate(3 * 4096, frame=0)
+        model.on_store(50, loc)
+        model.writeback(60, loc)
+        e0 = model.cxl_state.chunk_epoch(3, 0)
+        model.evict(100, page=3, frame=0, dirty_chunks=(0,), page_dirty=True)
+        assert model.cxl_state.chunk_epoch(3, 0) == e0 + 1
+
+    def test_no_counter_bytes_on_link_with_collapse(self):
+        """Collapsed counters ride inside MAC sectors: the only dedicated
+        counter transfers are the (cacheable) verification reads."""
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        model.fill(0, page=3, frame=0)
+        loc0 = fabric.locate(3 * 4096, frame=0)
+        loc1 = fabric.locate(3 * 4096 + 256, frame=0)
+        model.read_complete(100, loc0, data_ready=110)
+        ctr_after_first = fabric.stats.bytes_for(Side.CXL, TrafficCategory.COUNTER)
+        model.read_complete(200, loc1, data_ready=210)
+        # Second chunk of the same page: counter sector already cached.
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.COUNTER) == ctr_after_first
+
+    def test_store_dirty_tracking_costs_bounded_mapping_traffic(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric)
+        from repro.migration.dirty import DirtyTracker
+
+        model.attach_dirty_tracker(DirtyTracker(fabric.geometry.chunks_per_page))
+        model.fill(0, page=3, frame=0)
+        loc = fabric.locate(3 * 4096, frame=0)
+        for t in range(10):
+            model.on_store(t, loc)
+        # First write fetched the mapping; the rest hit the dirty buffer.
+        assert fabric.stats.bytes_for(Side.DEVICE, TrafficCategory.MAPPING) == 32
+
+
+class TestSalusAblations:
+    def test_nofoa_moves_all_metadata_at_fill(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric, SalusConfig(fetch_on_access=False))
+        model.fill(0, page=3, frame=0)
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.MAC) == (
+            fabric.geometry.chunks_per_page * 64
+        )
+
+    def test_nocollapse_pays_counter_transfers(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(
+            fabric, SalusConfig(collapsed_counters=False, fetch_on_access=False)
+        )
+        model.fill(0, page=3, frame=0)
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.COUNTER) > 0
+
+    def test_coarse_dirty_writes_whole_page(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric, SalusConfig(fine_dirty_tracking=False))
+        model.fill(0, page=3, frame=0)
+        loc = fabric.locate(3 * 4096, frame=0)
+        model.read_complete(10, loc, 20)
+        model.on_store(50, loc)
+        model.writeback(60, loc)
+        model.evict(100, page=3, frame=0, dirty_chunks=(0,), page_dirty=True)
+        assert fabric.stats.bytes_for(Side.CXL, TrafficCategory.DATA) >= (
+            fabric.geometry.page_bytes + fabric.geometry.page_bytes
+        )
+
+    def test_unified_only_pays_unification(self):
+        fabric = make_fabric()
+        model = SalusSecurityModel(fabric, SalusConfig.unified_only())
+        from repro.migration.dirty import DirtyTracker
+
+        model.attach_dirty_tracker(DirtyTracker(fabric.geometry.chunks_per_page))
+        # Install two pages whose chunks share device counter sectors with
+        # different epochs.
+        model.cxl_state.collapse(4, 0)  # page 4 chunk 0 now at epoch 1
+        model.fill(0, page=3, frame=0)
+        model.fill(0, page=4, frame=1)
+        assert fabric.stats.counters.get("salus.unification_reencrypts", 0) > 0

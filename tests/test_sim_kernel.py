@@ -1,0 +1,144 @@
+"""Unit tests for the simulation kernel (events + stats)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.stats import Side, StatRegistry, TrafficCategory
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(30, lambda: fired.append("c"))
+        q.schedule(10, lambda: fired.append("a"))
+        q.schedule(20, lambda: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+        assert q.now == 30
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.schedule(5, lambda n=name: fired.append(n))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_at(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        q.step()
+        q.schedule_at(25, lambda: None)
+        q.step()
+        assert q.now == 25
+
+    def test_no_past_scheduling(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1, lambda: None)
+        q.schedule(10, lambda: None)
+        q.step()
+        with pytest.raises(SimulationError):
+            q.schedule_at(5, lambda: None)
+
+    def test_cancel(self):
+        q = EventQueue()
+        fired = []
+        event = q.schedule(10, lambda: fired.append("x"))
+        q.schedule(20, lambda: fired.append("y"))
+        q.cancel(event)
+        q.run()
+        assert fired == ["y"]
+
+    def test_run_until(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: fired.append(1))
+        q.schedule(100, lambda: fired.append(2))
+        q.run(until=50)
+        assert fired == [1]
+        assert len(q) == 1
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule(1, reschedule)
+
+        q.schedule(0, reschedule)
+        fired = q.run(max_events=50)
+        assert fired == 50
+
+    def test_self_scheduling_during_fire(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            q.schedule(5, lambda: fired.append("second"))
+
+        q.schedule(0, first)
+        q.run()
+        assert fired == ["first", "second"]
+        assert q.now == 5
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e = q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        q.cancel(e)
+        assert len(q) == 1
+
+
+class TestStatRegistry:
+    def test_traffic_tallies(self):
+        stats = StatRegistry()
+        stats.add_traffic(Side.DEVICE, TrafficCategory.DATA, 100)
+        stats.add_traffic(Side.DEVICE, TrafficCategory.MAC, 50)
+        stats.add_traffic(Side.CXL, TrafficCategory.DATA, 25)
+        assert stats.total_bytes() == 175
+        assert stats.total_bytes(Side.DEVICE) == 150
+        assert stats.data_bytes() == 125
+        assert stats.bytes_for(Side.CXL, TrafficCategory.DATA) == 25
+
+    def test_security_classification(self):
+        """Exactly counter/MAC/BMT/re-encryption traffic is 'security'."""
+        stats = StatRegistry()
+        for category in TrafficCategory:
+            stats.add_traffic(Side.DEVICE, category, 10)
+        assert stats.security_bytes() == 40
+        assert TrafficCategory.DATA.is_security is False
+        assert TrafficCategory.MAPPING.is_security is False
+        assert TrafficCategory.REENC_DATA.is_security is True
+
+    def test_counters(self):
+        stats = StatRegistry()
+        stats.bump("fills")
+        stats.bump("fills", 3)
+        assert stats.counters["fills"] == 4
+
+    def test_ipc(self):
+        stats = StatRegistry()
+        assert stats.ipc == 0.0
+        stats.instructions = 500
+        stats.final_cycle = 1000
+        assert stats.ipc == 0.5
+
+    def test_breakdown_keys(self):
+        stats = StatRegistry()
+        stats.add_traffic(Side.CXL, TrafficCategory.BMT, 64)
+        assert stats.breakdown() == {"cxl.bmt": 64}
+
+    def test_merge(self):
+        a, b = StatRegistry(), StatRegistry()
+        a.add_traffic(Side.DEVICE, TrafficCategory.DATA, 10)
+        b.add_traffic(Side.DEVICE, TrafficCategory.DATA, 5)
+        b.bump("x")
+        b.instructions = 7
+        b.final_cycle = 99
+        a.merge([b])
+        assert a.bytes_for(Side.DEVICE, TrafficCategory.DATA) == 15
+        assert a.counters["x"] == 1
+        assert a.final_cycle == 99

@@ -1,0 +1,116 @@
+"""Property-based invariants of the timing simulator.
+
+Hypothesis generates workload shapes; the invariants below must hold for
+every one of them - they are conservation laws of the model, not tuning
+outcomes:
+
+* residency behaviour (fills/evictions) is identical across security models
+  for the same trace - models differ in *cost*, never in *what migrates*;
+* data traffic is conserved: every fill moves exactly one page (or, in chunk
+  mode, every chunk fill exactly one chunk) across the link RX, and TX is a
+  whole number of writeback units;
+* no security model is faster than running with no security on read-only
+  workloads (with writes, Salus's fine dirty tracking may legitimately move
+  less data than the coarse-bit unprotected system);
+* the simulator is deterministic.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.harness.runner import run_model
+from repro.sim.stats import Side, TrafficCategory
+from repro.workloads.generators import WorkloadSpec, generate_trace
+
+CFG = SystemConfig.small()
+CHUNK_CFG = SystemConfig.small(gpu=replace(CFG.gpu, fill_granularity="chunk"))
+
+spec_strategy = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    footprint_pages=st.sampled_from([48, 96, 160]),
+    chunk_coverage=st.floats(min_value=0.15, max_value=1.0),
+    concurrent_pages=st.integers(1, 12),
+    write_fraction=st.floats(min_value=0.0, max_value=0.6),
+    sectors_per_chunk_touched=st.integers(2, 8),
+    reuse=st.integers(1, 3),
+    compute_per_mem=st.integers(0, 8),
+    page_order=st.sampled_from(["stream", "tiled", "zipf"]),
+)
+
+
+@given(spec=spec_strategy, seed=st.integers(0, 4))
+@settings(max_examples=8, deadline=None)
+def test_residency_identical_across_models(spec, seed):
+    trace = generate_trace(spec, 1200, seed=seed, num_sms=CFG.gpu.num_sms)
+    results = [run_model(CFG, trace, m) for m in ("nosec", "baseline", "salus")]
+    assert len({r.fills for r in results}) == 1
+    assert len({r.evictions for r in results}) == 1
+
+
+@given(spec=spec_strategy, seed=st.integers(0, 4))
+@settings(max_examples=8, deadline=None)
+def test_page_mode_data_conservation(spec, seed):
+    trace = generate_trace(spec, 1200, seed=seed, num_sms=CFG.gpu.num_sms)
+    result = run_model(CFG, trace, "nosec")
+    geom = CFG.geometry
+    # The stat registry sums both link directions; in page mode every unit
+    # is a whole page (fills inbound, coarse-bit dirty writebacks outbound):
+    #   total = fills * page + dirty_evictions * page.
+    total = result.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+    assert total % geom.page_bytes == 0
+    assert total >= result.fills * geom.page_bytes
+    assert total <= (result.fills + result.evictions) * geom.page_bytes
+
+
+@given(spec=spec_strategy, seed=st.integers(0, 4))
+@settings(max_examples=8, deadline=None)
+def test_chunk_mode_data_conservation(spec, seed):
+    trace = generate_trace(spec, 1200, seed=seed, num_sms=CHUNK_CFG.gpu.num_sms)
+    result = run_model(CHUNK_CFG, trace, "nosec")
+    geom = CHUNK_CFG.geometry
+    chunk_fills = result.counters["chunk_fills"]
+    rx_data = chunk_fills * geom.chunk_bytes
+    total = result.stats.bytes_for(Side.CXL, TrafficCategory.DATA)
+    # total = chunk fills in + whole-page coarse writebacks out.
+    assert total >= rx_data
+    assert (total - rx_data) % geom.page_bytes == 0
+    assert chunk_fills <= result.fills * geom.chunks_per_page
+
+
+@given(spec=spec_strategy, seed=st.integers(0, 4))
+@settings(max_examples=6, deadline=None)
+def test_read_only_security_never_speeds_up(spec, seed):
+    read_only = replace(spec, write_fraction=0.0)
+    trace = generate_trace(read_only, 1000, seed=seed, num_sms=CFG.gpu.num_sms)
+    nosec = run_model(CFG, trace, "nosec")
+    for model in ("baseline", "salus"):
+        assert run_model(CFG, trace, model).ipc <= nosec.ipc + 1e-9
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=4, deadline=None)
+def test_simulation_deterministic(spec):
+    trace = generate_trace(spec, 800, seed=1, num_sms=CFG.gpu.num_sms)
+    a = run_model(CFG, trace, "salus")
+    b = run_model(CFG, trace, "salus")
+    assert a.cycles == b.cycles
+    assert a.stats.breakdown() == b.stats.breakdown()
+
+
+@given(
+    spec=spec_strategy.filter(lambda s: s.chunk_coverage <= 0.4),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=6, deadline=None)
+def test_salus_traffic_advantage_on_sparse_workloads(spec, seed):
+    """For any sparse-coverage workload, Salus never moves more security
+    bytes over the link than the conventional design."""
+    trace = generate_trace(spec, 1500, seed=seed, num_sms=CFG.gpu.num_sms)
+    baseline = run_model(CFG, trace, "baseline")
+    salus = run_model(CFG, trace, "salus")
+    assert salus.stats.security_bytes(Side.CXL) <= baseline.stats.security_bytes(
+        Side.CXL
+    )

@@ -1,0 +1,83 @@
+"""Tests for trace persistence (repro.workloads.io) and JSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import TraceError
+from repro.harness.runner import run_model
+from repro.workloads.generators import WorkloadSpec, generate_trace
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    spec = WorkloadSpec(name="io-test", footprint_pages=32, write_fraction=0.3)
+    return generate_trace(spec, 800, seed=5)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.footprint_pages == trace.footprint_pages
+        assert loaded.compute_per_mem == trace.compute_per_mem
+        assert len(loaded) == len(trace)
+        assert all(
+            (a.cxl_addr, a.access, a.sm) == (b.cxl_addr, b.access, b.sm)
+            for a, b in zip(loaded, trace)
+        )
+
+    def test_loaded_trace_simulates_identically(self, trace, tmp_path):
+        config = SystemConfig.small()
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        r1 = run_model(config, trace, "salus")
+        r2 = run_model(config, loaded, "salus")
+        assert r1.cycles == r2.cycles
+        assert r1.stats.breakdown() == r2.stats.breakdown()
+
+    def test_empty_trace_rejected(self, tmp_path):
+        empty = Trace(name="e", footprint_pages=1, compute_per_mem=0)
+        with pytest.raises(TraceError):
+            save_trace(empty, tmp_path / "e.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_non_trace_npz_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.zeros(4))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestJsonExport:
+    def test_run_result_to_dict(self, trace):
+        result = run_model(SystemConfig.small(), trace, "salus")
+        payload = result.to_dict()
+        text = json.dumps(payload)  # must be serializable
+        back = json.loads(text)
+        assert back["model"] == "salus"
+        assert back["workload"] == "io-test"
+        assert back["cycles"] == result.cycles
+        assert back["security_bytes"] == result.stats.security_bytes()
+
+    def test_cli_json_and_trace_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "nw.npz"
+        assert main(["trace", "nw", str(out_path), "--accesses", "400"]) == 0
+        captured = capsys.readouterr().out
+        assert "wrote 400 requests" in captured
+        assert main(
+            ["run", "nw", "--trace-file", str(out_path),
+             "--models", "salus", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["model"] == "salus"

@@ -1,0 +1,196 @@
+"""Unit tests for workload generation (repro.workloads)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.address import DEFAULT_GEOMETRY
+from repro.errors import TraceError
+from repro.memsys.request import Access, MemoryRequest
+from repro.workloads.generators import WorkloadSpec, generate_trace
+from repro.workloads.suite import BENCHMARKS, benchmark_names, build_trace, spec_for
+from repro.workloads.trace import Trace
+
+
+class TestTrace:
+    def test_metadata(self):
+        trace = Trace(name="t", footprint_pages=4, compute_per_mem=2)
+        assert len(trace) == 0
+        trace.requests.append(MemoryRequest(0, Access.READ))
+        trace.requests.append(MemoryRequest(32, Access.WRITE))
+        assert trace.write_fraction == pytest.approx(0.5)
+        assert trace.distinct_pages(4096) == 1
+
+    def test_head(self):
+        trace = Trace(name="t", footprint_pages=4, compute_per_mem=2)
+        trace.requests.extend(MemoryRequest(i * 32, Access.READ) for i in range(10))
+        assert len(trace.head(3)) == 3
+        assert trace.head(3).name == "t"
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            Trace(name="t", footprint_pages=0, compute_per_mem=0)
+        with pytest.raises(TraceError):
+            Trace(name="t", footprint_pages=1, compute_per_mem=-1)
+
+
+class TestWorkloadSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_coverage": 0.0},
+            {"chunk_coverage": 1.5},
+            {"write_fraction": -0.1},
+            {"concurrent_pages": 0},
+            {"reuse": 0},
+            {"page_order": "bogus"},
+            {"footprint_pages": 0},
+            {"sectors_per_chunk_touched": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TraceError):
+            WorkloadSpec(name="x", **kwargs)
+
+
+class TestGeneration:
+    def test_deterministic_across_calls(self):
+        spec = WorkloadSpec(name="det", footprint_pages=64)
+        t1 = generate_trace(spec, 2000, seed=3)
+        t2 = generate_trace(spec, 2000, seed=3)
+        assert [r.cxl_addr for r in t1] == [r.cxl_addr for r in t2]
+        assert [r.access for r in t1] == [r.access for r in t2]
+
+    def test_seed_changes_stream(self):
+        spec = WorkloadSpec(name="det", footprint_pages=64)
+        t1 = generate_trace(spec, 2000, seed=3)
+        t2 = generate_trace(spec, 2000, seed=4)
+        assert [r.cxl_addr for r in t1] != [r.cxl_addr for r in t2]
+
+    def test_addresses_sector_aligned_and_in_footprint(self):
+        spec = WorkloadSpec(name="x", footprint_pages=32)
+        trace = generate_trace(spec, 3000)
+        limit = 32 * DEFAULT_GEOMETRY.page_bytes
+        for req in trace:
+            assert 0 <= req.cxl_addr < limit
+            assert req.cxl_addr % 32 == 0
+
+    def test_write_fraction_approximated(self):
+        spec = WorkloadSpec(name="x", footprint_pages=64, write_fraction=0.4)
+        trace = generate_trace(spec, 8000)
+        assert abs(trace.write_fraction - 0.4) < 0.05
+
+    def test_chunk_coverage_respected(self):
+        """Low coverage leaves most chunks of each touched page untouched."""
+        # One visit per page (single pass) so the per-residency coverage
+        # is visible rather than the union over many passes.
+        spec = WorkloadSpec(
+            name="x", footprint_pages=512, chunk_coverage=0.2,
+            concurrent_pages=1, reuse=1,
+        )
+        trace = generate_trace(spec, 4000)
+        from collections import defaultdict
+
+        chunks = defaultdict(set)
+        geom = DEFAULT_GEOMETRY
+        for req in trace:
+            chunks[geom.page_of(req.cxl_addr)].add(geom.chunk_in_page(req.cxl_addr))
+        coverages = [len(c) / geom.chunks_per_page for c in chunks.values()]
+        assert sum(coverages) / len(coverages) < 0.35
+
+    def test_concurrency_interleaves_pages(self):
+        spec = WorkloadSpec(
+            name="x", footprint_pages=64, concurrent_pages=8, chunk_coverage=0.5
+        )
+        trace = generate_trace(spec, 2000)
+        first_window = {
+            DEFAULT_GEOMETRY.page_of(r.cxl_addr) for r in trace.requests[:64]
+        }
+        assert len(first_window) >= 8
+
+    def test_sm_assignment_round_robin(self):
+        spec = WorkloadSpec(name="x", footprint_pages=16)
+        trace = generate_trace(spec, 100, num_sms=4)
+        assert [r.sm for r in trace.requests[:8]] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_invalid_count(self):
+        with pytest.raises(TraceError):
+            generate_trace(WorkloadSpec(name="x"), 0)
+
+    @pytest.mark.parametrize("order", ["stream", "tiled", "zipf"])
+    def test_page_orders_produce_valid_traces(self, order):
+        spec = WorkloadSpec(name="x", footprint_pages=32, page_order=order)
+        trace = generate_trace(spec, 1000)
+        assert len(trace) == 1000
+
+    def test_zipf_is_skewed(self):
+        from collections import Counter
+
+        spec = WorkloadSpec(
+            name="x", footprint_pages=128, page_order="zipf", zipf_skew=1.2,
+            concurrent_pages=1,
+        )
+        trace = generate_trace(spec, 8000)
+        counts = Counter(DEFAULT_GEOMETRY.page_of(r.cxl_addr) for r in trace)
+        top = sum(c for _, c in counts.most_common(13))
+        assert top / len(trace) > 0.3  # top 10% of pages carry >30% of traffic
+
+
+class TestSuite:
+    def test_twelve_benchmarks(self):
+        assert len(benchmark_names()) == 12
+
+    def test_paper_suites_represented(self):
+        suites = {spec.suite for spec in BENCHMARKS.values()}
+        assert suites == {"rodinia", "parboil", "lonestar", "pannotia"}
+
+    def test_paper_low_intensity_group(self):
+        """Stencil, B+tree, Lava and NW are the paper's low-intensity set."""
+        for name in ("stencil", "btree", "lava", "nw"):
+            assert BENCHMARKS[name].intensity == "low"
+
+    def test_winners_have_sparse_coverage(self):
+        """NW/B+tree/Lava: under half the channels touched per residency."""
+        for name in ("nw", "btree", "lava"):
+            assert BENCHMARKS[name].chunk_coverage < 0.5
+
+    def test_non_winners_have_dense_spread_access(self):
+        for name in ("backprop", "sgemm"):
+            assert BENCHMARKS[name].chunk_coverage > 0.9
+            assert BENCHMARKS[name].concurrent_pages >= 32
+
+    def test_spec_for_unknown(self):
+        with pytest.raises(TraceError):
+            spec_for("doom")
+
+    def test_build_trace(self):
+        trace = build_trace("nw", n_accesses=500)
+        assert trace.name == "nw"
+        assert len(trace) == 500
+        assert trace.compute_per_mem == BENCHMARKS["nw"].compute_per_mem
+
+    def test_build_trace_scaled(self):
+        full = build_trace("nw", n_accesses=1000)
+        small = build_trace("nw", n_accesses=1000, scale=0.25)
+        assert small.footprint_pages < full.footprint_pages
+        assert len(small) < len(full)
+
+    def test_scale_validation(self):
+        with pytest.raises(TraceError):
+            build_trace("nw", scale=0.0)
+
+
+@given(
+    coverage=st.floats(min_value=0.1, max_value=1.0),
+    writes=st.floats(min_value=0.0, max_value=1.0),
+    concurrent=st.integers(1, 16),
+)
+@settings(max_examples=15, deadline=None)
+def test_generation_total_and_bounds_property(coverage, writes, concurrent):
+    spec = WorkloadSpec(
+        name="prop", footprint_pages=32, chunk_coverage=coverage,
+        write_fraction=writes, concurrent_pages=concurrent,
+    )
+    trace = generate_trace(spec, 500)
+    assert len(trace) == 500
+    limit = 32 * DEFAULT_GEOMETRY.page_bytes
+    assert all(0 <= r.cxl_addr < limit for r in trace)
