@@ -9,10 +9,10 @@ conventional baseline and full Salus.
 from repro.harness.experiments import run_ablation
 
 
-def test_ablation_of_salus_optimizations(benchmark, config, accesses, workloads):
+def test_ablation_of_salus_optimizations(benchmark, config, engine, accesses, workloads):
     result = benchmark.pedantic(
         run_ablation,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -7,10 +7,10 @@ Paper: conventional security with dynamic page migration runs 2.04x slower
 from repro.harness.experiments import run_fig03_motivation
 
 
-def test_fig03_motivation(benchmark, config, accesses, workloads):
+def test_fig03_motivation(benchmark, config, engine, accesses, workloads):
     result = benchmark.pedantic(
         run_fig03_motivation,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -8,10 +8,10 @@ biggest winners and Backprop/Sgemm flat or slightly negative.
 from repro.harness.experiments import run_fig10_ipc
 
 
-def test_fig10_normalized_ipc(benchmark, config, accesses, workloads, full_scale):
+def test_fig10_normalized_ipc(benchmark, config, engine, accesses, workloads, full_scale):
     result = benchmark.pedantic(
         run_fig10_ipc,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -8,10 +8,10 @@ sparse-coverage benchmarks reducing the most.
 from repro.harness.experiments import run_fig11_traffic
 
 
-def test_fig11_security_traffic(benchmark, config, accesses, workloads):
+def test_fig11_security_traffic(benchmark, config, engine, accesses, workloads):
     result = benchmark.pedantic(
         run_fig11_traffic,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -7,10 +7,10 @@ GPU device-memory bandwidth for security than the conventional design.
 from repro.harness.experiments import run_fig12_bandwidth
 
 
-def test_fig12_bandwidth_utilization(benchmark, config, accesses, workloads, full_scale):
+def test_fig12_bandwidth_utilization(benchmark, config, engine, accesses, workloads, full_scale):
     result = benchmark.pedantic(
         run_fig12_bandwidth,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -8,10 +8,10 @@ speeds and compresses at the fastest link, where migration stops dominating.
 from repro.harness.experiments import run_fig13_cxl_bw
 
 
-def test_fig13_cxl_bandwidth_sensitivity(benchmark, config, accesses, workloads, full_scale):
+def test_fig13_cxl_bandwidth_sensitivity(benchmark, config, engine, accesses, workloads, full_scale):
     result = benchmark.pedantic(
         run_fig13_cxl_bw,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -8,10 +8,10 @@ that fits, the more migration, the bigger the Salus win.
 from repro.harness.experiments import run_fig14_footprint
 
 
-def test_fig14_footprint_sensitivity(benchmark, config, accesses, workloads, full_scale):
+def test_fig14_footprint_sensitivity(benchmark, config, engine, accesses, workloads, full_scale):
     result = benchmark.pedantic(
         run_fig14_footprint,
-        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses),
+        kwargs=dict(config=config, benchmarks=workloads, n_accesses=accesses, engine=engine),
         rounds=1,
         iterations=1,
     )

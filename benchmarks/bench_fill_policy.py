@@ -10,43 +10,55 @@ sparse-coverage winner (nw) and a dense-coverage non-winner (sgemm)?
 
 from dataclasses import replace
 
+from repro.harness.engine import SimJob, default_engine
 from repro.harness.report import format_table
-from repro.harness.runner import run_model
 from repro.sim.stats import Side, TrafficCategory
-from repro.workloads.suite import build_trace
 
 
-def run_fill_policy_study(config, accesses, benchmarks=("nw", "sgemm"), seed=7):
+def run_fill_policy_study(config, accesses, benchmarks=("nw", "sgemm"), seed=7,
+                          engine=None):
     """Returns table rows: one per (benchmark, fill policy, model)."""
+    eng = engine if engine is not None else default_engine()
+    policies = ("page", "chunk")
+    models = ("nosec", "baseline", "salus")
+    cfgs = {
+        policy: replace(config, gpu=replace(config.gpu, fill_granularity=policy))
+        for policy in policies
+    }
+    # The full (bench x policy x model) cross product as one batch.
+    points = [
+        (bench, policy, model)
+        for bench in benchmarks
+        for policy in policies
+        for model in models
+    ]
+    runs = eng.map(
+        [
+            SimJob.of(cfgs[policy], bench, model, accesses, seed)
+            for bench, policy, model in points
+        ]
+    )
     rows = []
-    for bench in benchmarks:
-        trace = build_trace(
-            bench, n_accesses=accesses, seed=seed, num_sms=config.gpu.num_sms
+    for bench, policy, model in points:
+        result = runs[SimJob.of(cfgs[policy], bench, model, accesses, seed)]
+        nosec = runs[SimJob.of(cfgs[policy], bench, "nosec", accesses, seed)]
+        rows.append(
+            (
+                bench,
+                policy,
+                model,
+                result.ipc / nosec.ipc,
+                result.stats.bytes_for(Side.CXL, TrafficCategory.DATA) / 1e6,
+                result.stats.security_bytes() / 1e6,
+            )
         )
-        nosec_ipc = {}
-        for policy in ("page", "chunk"):
-            cfg = replace(config, gpu=replace(config.gpu, fill_granularity=policy))
-            for model in ("nosec", "baseline", "salus"):
-                result = run_model(cfg, trace, model)
-                if model == "nosec":
-                    nosec_ipc[policy] = result.ipc
-                rows.append(
-                    (
-                        bench,
-                        policy,
-                        model,
-                        result.ipc / nosec_ipc[policy],
-                        result.stats.bytes_for(Side.CXL, TrafficCategory.DATA) / 1e6,
-                        result.stats.security_bytes() / 1e6,
-                    )
-                )
     return rows
 
 
-def test_fill_policy_study(benchmark, config, accesses):
+def test_fill_policy_study(benchmark, config, engine, accesses):
     rows = benchmark.pedantic(
         run_fill_policy_study,
-        kwargs=dict(config=config, accesses=min(accesses, 30_000)),
+        kwargs=dict(config=config, accesses=min(accesses, 30_000), engine=engine),
         rounds=1,
         iterations=1,
     )

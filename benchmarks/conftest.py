@@ -13,6 +13,12 @@ Environment knobs:
   lower it for a quick pass, e.g. 10000).
 * ``REPRO_BENCH_WORKLOADS`` - comma-separated subset of benchmark names
   (default: the full 12-benchmark suite).
+* ``REPRO_BENCH_JOBS`` - worker processes for the experiment engine
+  (default 1 = serial; the timing numbers then measure parallel
+  regeneration, not single-simulation cost).
+* ``REPRO_BENCH_CACHE_DIR`` - persistent result-cache directory; unset
+  (the default) keeps benchmark runs memory-only so the reported times
+  always reflect real simulations.
 """
 
 import os
@@ -20,6 +26,7 @@ import os
 import pytest
 
 from repro.config import SystemConfig
+from repro.harness.engine import ExperimentEngine
 from repro.harness.experiments import clear_cache
 from repro.workloads.suite import benchmark_names
 
@@ -59,9 +66,23 @@ def full_scale(accesses, workloads):
     return accesses >= 30_000 and len(workloads) >= 8
 
 
+@pytest.fixture(scope="session")
+def engine():
+    """One engine for the whole benchmark session.
+
+    Figures 10-12 are three views of the same three simulations per
+    benchmark; sharing the engine (and its in-process memo) across the
+    bench files preserves that reuse exactly as the old run cache did.
+    """
+    return ExperimentEngine(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
+    )
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _shared_run_cache():
-    """Figures 10-12 share the same simulations via the harness run cache;
-    keep it alive for the whole benchmark session."""
+    """Anything routed through the default engine (library-style calls)
+    stays shared for the session, then is dropped."""
     yield
     clear_cache()

@@ -4,11 +4,17 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro run nw --models nosec baseline salus
     python -m repro figure fig10 --accesses 20000
+    python -m repro figures --jobs 4           # all figures, 4 worker processes
     python -m repro figure all --benchmarks nw btree sgemm
     python -m repro list
 
 Every command accepts ``--accesses`` (trace length), ``--seed``, and the
-Figure-13/14 knobs ``--cxl-bw-ratio`` / ``--capacity-ratio``.
+Figure-13/14 knobs ``--cxl-bw-ratio`` / ``--capacity-ratio``. ``run``,
+``figure`` and ``figures`` additionally accept the engine knobs ``--jobs``
+(parallel worker processes), ``--cache-dir`` and ``--no-cache``: finished
+simulations are stored as content-addressed JSON under the cache directory
+(default ``.salus-cache/``, or $REPRO_CACHE_DIR), so repeating a figure
+sweep replays results instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from .config import SystemConfig
+from .harness.engine import ExperimentEngine, TraceSpec, default_cache_dir
 from .harness.experiments import (
     run_ablation,
     run_fig03_motivation,
@@ -28,7 +35,7 @@ from .harness.experiments import (
     run_fig14_footprint,
 )
 from .harness.report import format_table
-from .harness.runner import MODEL_NAMES, run_model
+from .harness.runner import MODEL_NAMES, run_benchmark, run_model
 from .workloads.suite import BENCHMARKS, benchmark_names, build_trace
 
 FIGURES = {
@@ -71,6 +78,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "or on-demand 256 B chunks")
 
 
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="persistent result-cache directory "
+                             "(default .salus-cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the on-disk result cache")
+
+
+def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return ExperimentEngine(jobs=max(1, args.jobs), cache_dir=cache_dir)
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     """The ``list`` command: show benchmarks, models and figures."""
     rows = [
@@ -100,13 +123,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace_file:
         from .workloads.io import load_trace
 
+        # External traces have no generation recipe to key a cache on;
+        # they run directly, in-process.
         trace = load_trace(args.trace_file)
+        results = {m: run_model(config, trace, m) for m in args.models}
     else:
         trace = build_trace(
             args.benchmark, n_accesses=args.accesses, seed=args.seed,
             num_sms=config.gpu.num_sms,
         )
-    results = {m: run_model(config, trace, m) for m in args.models}
+        results = run_benchmark(
+            config,
+            TraceSpec(args.benchmark, args.accesses, args.seed),
+            models=tuple(args.models),
+            engine=_build_engine(args),
+        )
     if args.json:
         import json
 
@@ -154,17 +185,32 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    """The ``figure`` command: regenerate one (or all) paper figures."""
+    """The ``figure``/``figures`` commands: regenerate paper figures.
+
+    All figures of one invocation share one engine, so the simulations
+    Figures 10-12 have in common run once, ``--jobs N`` fans each sweep out
+    over worker processes, and (unless ``--no-cache``) every result lands in
+    the persistent cache for the next invocation.
+    """
     config = _build_config(args)
+    engine = _build_engine(args)
     names = list(FIGURES) if args.name == "all" else [args.name]
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     for name in names:
         result = FIGURES[name](
             config=config, benchmarks=benchmarks,
             n_accesses=args.accesses, seed=args.seed,
+            engine=engine,
         )
         print(result.to_text())
         print()
+    if args.verbose:
+        s = engine.stats
+        print(
+            f"engine: {s.simulations} simulated, {s.disk_hits} from disk "
+            f"cache, {s.memory_hits} from memory, {s.errors} errors",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -190,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of a table")
     _add_common(p_run)
+    _add_engine(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser("trace", help="export a benchmark trace to .npz")
@@ -201,8 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=list(FIGURES) + ["all"])
     p_fig.add_argument("--benchmarks", nargs="*", default=None)
+    p_fig.add_argument("--verbose", action="store_true",
+                       help="print engine cache/simulation counters to stderr")
     _add_common(p_fig)
+    _add_engine(p_fig)
     p_fig.set_defaults(func=cmd_figure)
+
+    p_figs = sub.add_parser(
+        "figures", help="regenerate every paper figure (same as 'figure all')"
+    )
+    p_figs.add_argument("--benchmarks", nargs="*", default=None)
+    p_figs.add_argument("--verbose", action="store_true",
+                        help="print engine cache/simulation counters to stderr")
+    _add_common(p_figs)
+    _add_engine(p_figs)
+    p_figs.set_defaults(func=cmd_figure, name="all")
     return parser
 
 

@@ -22,7 +22,9 @@ system for fast unit tests (identical mechanisms, smaller resources).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from .address import Geometry
 from .errors import ConfigError
@@ -281,6 +283,20 @@ class SystemConfig:
         defaults = {"gpu": gpu, "security": security}
         defaults.update(overrides)
         return cls(**defaults)
+
+    def to_dict(self) -> dict:
+        """Nested plain-value dict of every parameter (JSON-safe)."""
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the full configuration.
+
+        Two configs fingerprint equal iff every nested parameter is equal,
+        independent of process, platform or hash randomization - the
+        experiment engine uses this as part of its on-disk cache key.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def with_salus(self, salus: SalusConfig) -> "SystemConfig":
         """Copy of this config with a different Salus feature set."""

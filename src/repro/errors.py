@@ -47,3 +47,7 @@ class SimulationError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or references an unmapped address."""
+
+
+class EngineError(ReproError):
+    """One or more jobs of an experiment batch failed to execute."""

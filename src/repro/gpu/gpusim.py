@@ -67,7 +67,12 @@ class RunResult:
         return self.stats.security_bytes()
 
     def to_dict(self) -> Dict:
-        """JSON-serializable summary (CLI ``--json``, downstream analysis)."""
+        """Complete JSON-serializable form (CLI ``--json``, result cache).
+
+        The derived summary fields (``ipc``, ``cycles``, ``security_bytes``,
+        ``traffic_bytes``) are included for human/downstream convenience;
+        :meth:`from_dict` reconstructs everything from ``stats`` alone.
+        """
         return {
             "model": self.model,
             "workload": self.workload,
@@ -79,7 +84,20 @@ class RunResult:
             "traffic_bytes": self.stats.breakdown(),
             "security_bytes": self.stats.security_bytes(),
             "counters": {k: v for k, v in self.counters.items()},
+            "stats": self.stats.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Inverse of :meth:`to_dict` - a full round-trip reconstruction."""
+        return cls(
+            model=str(data["model"]),
+            workload=str(data["workload"]),
+            stats=StatRegistry.from_dict(data["stats"]),
+            fills=int(data["fills"]),
+            evictions=int(data["evictions"]),
+            counters=dict(data.get("counters", {})),
+        )
 
     def utilization(self, side: Side, fabric_busy: int) -> float:
         if self.cycles <= 0:

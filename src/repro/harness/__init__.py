@@ -1,12 +1,23 @@
 """Experiment harness: everything needed to regenerate the paper's figures.
 
 :mod:`repro.harness.runner` runs one (config, model, workload) triple;
-:mod:`repro.harness.experiments` defines each figure's sweep and returns the
-rows the paper plots; :mod:`repro.harness.report` renders them as aligned
-text tables for the benchmark output.
+:mod:`repro.harness.engine` turns sweeps into jobs (parallel workers +
+persistent result cache); :mod:`repro.harness.experiments` defines each
+figure's sweep and returns the rows the paper plots;
+:mod:`repro.harness.report` renders them as aligned text tables for the
+benchmark output.
 """
 
 from .runner import MODEL_NAMES, model_factory, run_benchmark, run_model
+from .engine import (
+    SCHEMA_VERSION,
+    ExperimentEngine,
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    TraceSpec,
+    default_engine,
+)
 from .experiments import (
     AblationResult,
     FigureResult,
@@ -22,8 +33,15 @@ from .report import format_table, geomean
 
 __all__ = [
     "AblationResult",
+    "ExperimentEngine",
     "FigureResult",
+    "JobOutcome",
     "MODEL_NAMES",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "SimJob",
+    "TraceSpec",
+    "default_engine",
     "format_table",
     "geomean",
     "model_factory",

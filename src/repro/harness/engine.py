@@ -1,0 +1,402 @@
+"""Job-based experiment engine: parallel execution + persistent result cache.
+
+The paper's evaluation is a large cross-product of (configuration, workload,
+security model) simulations, every one of them independent - an
+embarrassingly parallel sweep. This module turns the harness's execution
+path into explicit *jobs* so that sweeps can be batched, deduplicated,
+parallelized and cached:
+
+* :class:`TraceSpec` names a generated workload trace (benchmark name,
+  length, seed) without materializing it; the trace is rebuilt inside
+  whichever process executes the job (generation is deterministic by
+  contract - see ``Trace.fingerprint`` and its regression test).
+* :class:`SimJob` is one simulation: a :class:`~repro.config.SystemConfig`,
+  a :class:`TraceSpec`, and a security-model name. Jobs are hashable values
+  with a stable content :meth:`~SimJob.fingerprint`.
+* :class:`ResultCache` persists finished :class:`~repro.gpu.gpusim.RunResult`
+  objects as content-addressed JSON files under a cache directory (default
+  ``.salus-cache/``), keyed by the job fingerprint. Corrupt or
+  schema-mismatched entries degrade to cache misses.
+* :class:`ExperimentEngine` executes batches: it folds duplicates, serves
+  hits from an in-process memo and then the on-disk cache, runs the misses
+  via :class:`concurrent.futures.ProcessPoolExecutor` (``jobs`` workers)
+  with graceful fallback to serial execution, and captures per-job errors so
+  one failed simulation cannot kill a batch.
+
+Cache-key schema: a job fingerprint hashes the full config dict, the trace
+parameters, the model name **and** :data:`SCHEMA_VERSION`. Bump
+``SCHEMA_VERSION`` whenever simulator semantics or the serialized result
+format change, so stale caches are invalidated automatically rather than
+replayed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import SystemConfig
+from ..errors import EngineError
+from ..gpu.gpusim import RunResult
+from ..workloads.suite import build_trace
+from ..workloads.trace import Trace
+from .runner import run_model
+
+#: Version of the (simulator semantics, result JSON) contract baked into
+#: every cache key. Bump it whenever a change makes previously cached
+#: results wrong or unreadable; old entries then miss instead of lying.
+SCHEMA_VERSION = 1
+
+#: Default on-disk cache location (overridable via $REPRO_CACHE_DIR and the
+#: CLI ``--cache-dir`` flag).
+DEFAULT_CACHE_DIR = ".salus-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache directory the CLI uses unless told otherwise."""
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A generated workload trace, by recipe rather than by content."""
+
+    bench: str
+    n_accesses: int
+    seed: int
+
+    def build(self, config: SystemConfig) -> Trace:
+        """Materialize the trace for ``config``'s SM count and geometry."""
+        return build_trace(
+            self.bench,
+            n_accesses=self.n_accesses,
+            seed=self.seed,
+            num_sms=config.gpu.num_sms,
+            geometry=config.geometry,
+        )
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation: (configuration, trace spec, security model)."""
+
+    config: SystemConfig
+    trace: TraceSpec
+    model: str
+
+    @classmethod
+    def of(
+        cls,
+        config: SystemConfig,
+        bench: str,
+        model: str,
+        n_accesses: int,
+        seed: int,
+    ) -> "SimJob":
+        return cls(config=config, trace=TraceSpec(bench, n_accesses, seed), model=model)
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this job's result.
+
+        Keyed on the *full* configuration (not just the preset name), the
+        trace recipe, the model, and :data:`SCHEMA_VERSION`, so any change
+        to any simulated parameter - or to the code contract - lands in a
+        different cache slot.
+        """
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "config": self.config.to_dict(),
+                "bench": self.trace.bench,
+                "n_accesses": self.trace.n_accesses,
+                "seed": self.trace.seed,
+                "model": self.model,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and error messages."""
+        return (
+            f"{self.trace.bench}/{self.model}"
+            f"@{self.trace.n_accesses}#{self.trace.seed}"
+        )
+
+    def describe(self) -> Dict:
+        """Cache-entry provenance record (what produced this result)."""
+        return {
+            "bench": self.trace.bench,
+            "model": self.model,
+            "n_accesses": self.trace.n_accesses,
+            "seed": self.trace.seed,
+            "config_fingerprint": self.config.fingerprint(),
+        }
+
+    def execute(self) -> RunResult:
+        """Run the simulation (in whatever process this is called from)."""
+        return run_model(self.config, self.trace.build(self.config), self.model)
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a batch."""
+
+    job: SimJob
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    source: str = "run"  # "memory" | "disk" | "run"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class EngineStats:
+    """Per-engine counters; tests assert warm runs simulate nothing."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    simulations: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "simulations": self.simulations,
+            "errors": self.errors,
+        }
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized run results.
+
+    Layout: ``<root>/<fp[:2]>/<fp>.json`` where ``fp`` is the job
+    fingerprint. Every entry is a self-describing JSON envelope carrying the
+    schema version, the fingerprint, the job provenance and the full
+    :meth:`RunResult.to_dict` payload. Unreadable, corrupt or
+    schema-mismatched entries are treated as misses, never as errors.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[RunResult]:
+        path = self.path_for(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, fingerprint: str, job: SimJob, result: RunResult) -> Path:
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "job": job.describe(),
+            "result": result.to_dict(),
+        }
+        # Atomic publish: a reader never observes a half-written entry.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> None:
+        """Drop every cached entry (how users invalidate the cache)."""
+        if self.root.exists():
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def _execute_job(job: SimJob) -> Tuple[bool, object]:
+    """Worker entry point: run one job, never raise.
+
+    Returns ``(True, RunResult)`` on success or ``(False, traceback_text)``
+    on failure, so a crashed simulation surfaces as data instead of killing
+    the pool or the batch.
+    """
+    try:
+        return True, job.execute()
+    except Exception:
+        return False, traceback.format_exc()
+
+
+class ExperimentEngine:
+    """Executes batches of :class:`SimJob`, with caching and parallelism.
+
+    ``jobs`` is the worker-process count; 1 (the default) runs serially
+    in-process. ``cache_dir=None`` keeps the engine memory-only (results
+    are still memoized for the lifetime of the engine, which is what the
+    per-figure sharing of Figures 10-12 needs); a path enables the
+    persistent cross-process cache.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise EngineError(f"worker count must be >= 1, got {jobs}")
+        self.workers = int(jobs)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
+        )
+        self.stats = EngineStats()
+        self._memo: Dict[SimJob, RunResult] = {}
+
+    # -- execution ---------------------------------------------------------
+    def run_jobs(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
+        """Execute a batch; one outcome per input job, in input order.
+
+        Duplicate jobs are folded into a single execution. A job that fails
+        yields an outcome with ``error`` set; the rest of the batch still
+        completes (and successful results are still cached).
+        """
+        unique: Dict[SimJob, str] = {}
+        for job in jobs:
+            if job not in unique:
+                unique[job] = job.fingerprint()
+
+        outcomes: Dict[SimJob, JobOutcome] = {}
+        pending: List[SimJob] = []
+        for job, fingerprint in unique.items():
+            memoized = self._memo.get(job)
+            if memoized is not None:
+                self.stats.memory_hits += 1
+                outcomes[job] = JobOutcome(job, result=memoized, source="memory")
+                continue
+            cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._memo[job] = cached
+                outcomes[job] = JobOutcome(job, result=cached, source="disk")
+                continue
+            pending.append(job)
+
+        if pending:
+            for job, (ok, payload) in zip(pending, self._execute_batch(pending)):
+                self.stats.simulations += 1
+                if ok:
+                    result = payload
+                    self._memo[job] = result
+                    if self.cache is not None:
+                        self.cache.put(unique[job], job, result)
+                    outcomes[job] = JobOutcome(job, result=result, source="run")
+                else:
+                    self.stats.errors += 1
+                    outcomes[job] = JobOutcome(job, error=str(payload), source="run")
+
+        return [outcomes[job] for job in jobs]
+
+    def map(self, jobs: Sequence[SimJob]) -> Dict[SimJob, RunResult]:
+        """Like :meth:`run_jobs` but demand total success.
+
+        Raises :class:`~repro.errors.EngineError` summarizing every failed
+        job; otherwise returns {job: result} covering the whole batch.
+        """
+        outcomes = self.run_jobs(jobs)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            lines = [f"{len(failures)} of {len(outcomes)} jobs failed:"]
+            for outcome in failures:
+                reason = (outcome.error or "").strip().splitlines()
+                lines.append(f"  {outcome.job.label()}: {reason[-1] if reason else 'unknown error'}")
+            raise EngineError("\n".join(lines))
+        return {o.job: o.result for o in outcomes}
+
+    def matrix(
+        self,
+        config: SystemConfig,
+        benches: Sequence[str],
+        models: Sequence[str],
+        n_accesses: int,
+        seed: int,
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """Run the (bench x model) cross product; {(bench, model): result}."""
+        jobs = [
+            SimJob.of(config, bench, model, n_accesses, seed)
+            for bench in benches
+            for model in models
+        ]
+        results = self.map(jobs)
+        return {(job.trace.bench, job.model): results[job] for job in jobs}
+
+    def run_one(
+        self,
+        config: SystemConfig,
+        bench: str,
+        model: str,
+        n_accesses: int,
+        seed: int,
+    ) -> RunResult:
+        """Run (or reuse) a single simulation."""
+        job = SimJob.of(config, bench, model, n_accesses, seed)
+        return self.map([job])[job]
+
+    def _execute_batch(self, pending: Sequence[SimJob]) -> List[Tuple[bool, object]]:
+        """Run misses, in parallel when configured and possible."""
+        if self.workers > 1 and len(pending) > 1:
+            try:
+                workers = min(self.workers, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(_execute_job, pending))
+            except Exception:
+                # Pool unavailable (restricted sandbox, broken pickling,
+                # resource limits): fall back to the serial path below.
+                pass
+        return [_execute_job(job) for job in pending]
+
+    # -- cache management --------------------------------------------------
+    def clear_memory(self) -> None:
+        """Forget in-process memoized results (disk entries survive)."""
+        self._memo.clear()
+
+    def clear_disk(self) -> None:
+        """Invalidate the persistent cache, if one is attached."""
+        if self.cache is not None:
+            self.cache.clear()
+
+
+# One process-wide serial, memory-only engine backs the plain function API
+# (`cached_run` and the `run_figXX_*` defaults), mirroring the old
+# `_run_cache` behaviour: figures 10-12 share simulations within a process,
+# and nothing touches the filesystem unless a cache dir is requested.
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine()
+    return _default_engine

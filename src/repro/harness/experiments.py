@@ -5,9 +5,14 @@ figure sweeps and returns a :class:`FigureResult` whose rows mirror the
 figure's bars/series. Paper-vs-measured numbers for each figure are recorded
 in EXPERIMENTS.md.
 
-Runs are cached per (config, benchmark, trace size, seed, model) within the
-process, because Figures 10, 11 and 12 are three views of the same three
-simulations per benchmark.
+Every figure expresses its sweep as a batch of
+:class:`~repro.harness.engine.SimJob` and submits it to an
+:class:`~repro.harness.engine.ExperimentEngine` up front, so the whole
+cross product can run in parallel workers and/or be served from the
+persistent result cache. With no engine argument the process-wide default
+engine is used (serial, memory-only), which preserves the old behaviour:
+Figures 10, 11 and 12 are three views of the same three simulations per
+benchmark and share them within the process.
 """
 
 from __future__ import annotations
@@ -18,14 +23,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import SystemConfig
 from ..gpu.gpusim import RunResult
 from ..sim.stats import Side
-from ..workloads.suite import benchmark_names, build_trace
+from ..workloads.suite import benchmark_names
+from .engine import ExperimentEngine, SimJob, default_engine
 from .report import format_table, geomean
-from .runner import run_model
 
 DEFAULT_ACCESSES = 40_000
 DEFAULT_SEED = 7
 
-_run_cache: Dict[tuple, RunResult] = {}
+EVAL_MODELS = ("nosec", "baseline", "salus")
 
 
 def cached_run(
@@ -35,21 +40,13 @@ def cached_run(
     n_accesses: int,
     seed: int,
 ) -> RunResult:
-    """Run (or reuse) one simulation."""
-    key = (config, bench, model, n_accesses, seed)
-    result = _run_cache.get(key)
-    if result is None:
-        trace = build_trace(
-            bench, n_accesses=n_accesses, seed=seed,
-            num_sms=config.gpu.num_sms, geometry=config.geometry,
-        )
-        result = run_model(config, trace, model)
-        _run_cache[key] = result
-    return result
+    """Run (or reuse) one simulation on the process-wide default engine."""
+    return default_engine().run_one(config, bench, model, n_accesses, seed)
 
 
 def clear_cache() -> None:
-    _run_cache.clear()
+    """Forget the default engine's in-process results (not the disk cache)."""
+    default_engine().clear_memory()
 
 
 @dataclass
@@ -81,12 +78,17 @@ def _benches(benchmarks: Optional[Sequence[str]]) -> Tuple[str, ...]:
     return tuple(benchmarks) if benchmarks else benchmark_names()
 
 
+def _engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    return engine if engine is not None else default_engine()
+
+
 # --------------------------------------------------------------------------- Fig 3
 def run_fig03_motivation(
     config: Optional[SystemConfig] = None,
     benchmarks: Optional[Sequence[str]] = None,
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FigureResult:
     """Motivation: slowdown of location-tied security under migration.
 
@@ -94,15 +96,19 @@ def run_fig03_motivation(
     migration security (paper: 2.04x geometric-mean slowdown).
     """
     config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    runs = _engine(engine).matrix(
+        config, benches, ("baseline", "baseline-freemove"), n_accesses, seed
+    )
     result = FigureResult(
         figure="fig03",
         title="Fig. 3 - slowdown from location-tied security under migration",
         headers=("benchmark", "ipc_baseline", "ipc_free_migration", "slowdown"),
     )
     slowdowns = []
-    for bench in _benches(benchmarks):
-        base = cached_run(config, bench, "baseline", n_accesses, seed)
-        free = cached_run(config, bench, "baseline-freemove", n_accesses, seed)
+    for bench in benches:
+        base = runs[(bench, "baseline")]
+        free = runs[(bench, "baseline-freemove")]
         slowdown = free.ipc / base.ipc if base.ipc else float("nan")
         slowdowns.append(slowdown)
         result.rows.append((bench, base.ipc, free.ipc, slowdown))
@@ -116,19 +122,22 @@ def run_fig10_ipc(
     benchmarks: Optional[Sequence[str]] = None,
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FigureResult:
     """IPC normalized to the no-security system (paper: +29.94% geomean)."""
     config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    runs = _engine(engine).matrix(config, benches, EVAL_MODELS, n_accesses, seed)
     result = FigureResult(
         figure="fig10",
         title="Fig. 10 - normalized IPC (baseline vs Salus, basis = no security)",
         headers=("benchmark", "baseline", "salus", "improvement"),
     )
     improvements = []
-    for bench in _benches(benchmarks):
-        nosec = cached_run(config, bench, "nosec", n_accesses, seed)
-        base = cached_run(config, bench, "baseline", n_accesses, seed)
-        salus = cached_run(config, bench, "salus", n_accesses, seed)
+    for bench in benches:
+        nosec = runs[(bench, "nosec")]
+        base = runs[(bench, "baseline")]
+        salus = runs[(bench, "salus")]
         base_norm = base.ipc / nosec.ipc
         salus_norm = salus.ipc / nosec.ipc
         improvement = salus_norm / base_norm
@@ -145,23 +154,26 @@ def run_fig11_traffic(
     benchmarks: Optional[Sequence[str]] = None,
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FigureResult:
     """Security traffic under Salus, normalized to baseline.
 
     Paper: reduced by 52.03% on average (i.e. Salus at ~0.48x baseline).
     """
     config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    runs = _engine(engine).matrix(
+        config, benches, ("baseline", "salus"), n_accesses, seed
+    )
     result = FigureResult(
         figure="fig11",
         title="Fig. 11 - security traffic (Salus / baseline)",
         headers=("benchmark", "baseline_MB", "salus_MB", "normalized"),
     )
     ratios = []
-    for bench in _benches(benchmarks):
-        base = cached_run(config, bench, "baseline", n_accesses, seed)
-        salus = cached_run(config, bench, "salus", n_accesses, seed)
-        b = base.stats.security_bytes()
-        s = salus.stats.security_bytes()
+    for bench in benches:
+        b = runs[(bench, "baseline")].stats.security_bytes()
+        s = runs[(bench, "salus")].stats.security_bytes()
         ratio = s / b if b else float("nan")
         ratios.append(ratio)
         result.rows.append((bench, b / 1e6, s / 1e6, ratio))
@@ -176,6 +188,7 @@ def run_fig12_bandwidth(
     benchmarks: Optional[Sequence[str]] = None,
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FigureResult:
     """Security share of each memory's bandwidth, Salus vs baseline.
 
@@ -183,6 +196,10 @@ def run_fig12_bandwidth(
     device bandwidth than the conventional design.
     """
     config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    runs = _engine(engine).matrix(
+        config, benches, ("baseline", "salus"), n_accesses, seed
+    )
     result = FigureResult(
         figure="fig12",
         title="Fig. 12 - security bandwidth usage (fraction of run, per side)",
@@ -198,9 +215,9 @@ def run_fig12_bandwidth(
     dev_bpc = (
         config.gpu.device_bytes_per_cycle_per_channel * config.gpu.num_channels
     )
-    for bench in _benches(benchmarks):
-        base = cached_run(config, bench, "baseline", n_accesses, seed)
-        salus = cached_run(config, bench, "salus", n_accesses, seed)
+    for bench in benches:
+        base = runs[(bench, "baseline")]
+        salus = runs[(bench, "salus")]
 
         def usage(res: RunResult, side: Side, capacity: float) -> float:
             if res.cycles <= 0:
@@ -229,6 +246,7 @@ def run_fig13_cxl_bw(
     ratios: Sequence[float] = (1 / 32, 1 / 16, 1 / 8, 1 / 4),
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FigureResult:
     """Sensitivity to the CXL:device bandwidth ratio.
 
@@ -236,18 +254,29 @@ def run_fig13_cxl_bw(
     +21.76% (1/4).
     """
     config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    configs = [(ratio, config.with_cxl_bw_ratio(ratio)) for ratio in ratios]
+    # One batch for the whole sweep: every (ratio, bench, model) point is
+    # independent, so workers can chew the entire figure at once.
+    runs = _engine(engine).map(
+        [
+            SimJob.of(cfg, bench, model, n_accesses, seed)
+            for _, cfg in configs
+            for bench in benches
+            for model in EVAL_MODELS
+        ]
+    )
     result = FigureResult(
         figure="fig13",
         title="Fig. 13 - sensitivity to CXL bandwidth (geomean over suite)",
         headers=("cxl_bw_ratio", "baseline_norm", "salus_norm", "improvement"),
     )
-    for ratio in ratios:
-        cfg = config.with_cxl_bw_ratio(ratio)
+    for ratio, cfg in configs:
         base_norms, salus_norms = [], []
-        for bench in _benches(benchmarks):
-            nosec = cached_run(cfg, bench, "nosec", n_accesses, seed)
-            base = cached_run(cfg, bench, "baseline", n_accesses, seed)
-            salus = cached_run(cfg, bench, "salus", n_accesses, seed)
+        for bench in benches:
+            nosec = runs[SimJob.of(cfg, bench, "nosec", n_accesses, seed)]
+            base = runs[SimJob.of(cfg, bench, "baseline", n_accesses, seed)]
+            salus = runs[SimJob.of(cfg, bench, "salus", n_accesses, seed)]
             base_norms.append(base.ipc / nosec.ipc)
             salus_norms.append(salus.ipc / nosec.ipc)
         g_base = geomean(base_norms)
@@ -264,24 +293,34 @@ def run_fig14_footprint(
     capacity_ratios: Sequence[float] = (0.20, 0.35, 0.50),
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FigureResult:
     """Sensitivity to how much of the footprint fits in device memory.
 
     Paper improvements: +51.64% (20%), +34.48% (35%), +26.83% (50%).
     """
     config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    configs = [(ratio, config.with_capacity_ratio(ratio)) for ratio in capacity_ratios]
+    runs = _engine(engine).map(
+        [
+            SimJob.of(cfg, bench, model, n_accesses, seed)
+            for _, cfg in configs
+            for bench in benches
+            for model in EVAL_MODELS
+        ]
+    )
     result = FigureResult(
         figure="fig14",
         title="Fig. 14 - sensitivity to device-capacity / footprint ratio",
         headers=("capacity_ratio", "baseline_norm", "salus_norm", "improvement"),
     )
-    for ratio in capacity_ratios:
-        cfg = config.with_capacity_ratio(ratio)
+    for ratio, cfg in configs:
         base_norms, salus_norms = [], []
-        for bench in _benches(benchmarks):
-            nosec = cached_run(cfg, bench, "nosec", n_accesses, seed)
-            base = cached_run(cfg, bench, "baseline", n_accesses, seed)
-            salus = cached_run(cfg, bench, "salus", n_accesses, seed)
+        for bench in benches:
+            nosec = runs[SimJob.of(cfg, bench, "nosec", n_accesses, seed)]
+            base = runs[SimJob.of(cfg, bench, "baseline", n_accesses, seed)]
+            salus = runs[SimJob.of(cfg, bench, "salus", n_accesses, seed)]
             base_norms.append(base.ipc / nosec.ipc)
             salus_norms.append(salus.ipc / nosec.ipc)
         g_base = geomean(base_norms)
@@ -297,6 +336,7 @@ def run_ablation(
     benchmarks: Optional[Sequence[str]] = None,
     n_accesses: int = DEFAULT_ACCESSES,
     seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
     """Contribution of each Salus optimization (DESIGN.md Section 5)."""
     config = config if config is not None else SystemConfig.bench()
@@ -308,17 +348,19 @@ def run_ablation(
         ("salus-coarsedirty", "full Salus minus fine dirty tracking"),
         ("salus", "full Salus"),
     )
+    benches = _benches(benchmarks)
+    models = ("nosec",) + tuple(model for model, _ in variants)
+    runs = _engine(engine).matrix(config, benches, models, n_accesses, seed)
     result = AblationResult(
         figure="ablation",
         title="Ablation - normalized IPC and security traffic per variant",
         headers=("variant", "description", "ipc_norm", "sec_traffic_MB"),
     )
-    benches = _benches(benchmarks)
     for model, desc in variants:
         norms, traffic = [], 0.0
         for bench in benches:
-            nosec = cached_run(config, bench, "nosec", n_accesses, seed)
-            run = cached_run(config, bench, model, n_accesses, seed)
+            nosec = runs[(bench, "nosec")]
+            run = runs[(bench, model)]
             norms.append(run.ipc / nosec.ipc)
             traffic += run.stats.security_bytes() / 1e6
         g = geomean(norms)

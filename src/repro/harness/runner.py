@@ -81,9 +81,26 @@ def run_model(config: SystemConfig, trace: Trace, model: str) -> RunResult:
 
 def run_benchmark(
     config: SystemConfig,
-    trace: Trace,
+    trace,
     models: Optional[tuple] = None,
+    engine=None,
 ) -> Dict[str, RunResult]:
-    """Run a trace under several models; returns {model: result}."""
+    """Run a workload under several models; returns {model: result}.
+
+    ``trace`` may be a materialized :class:`~repro.workloads.trace.Trace`
+    (simulated directly, in-process) or a
+    :class:`~repro.harness.engine.TraceSpec` recipe - the latter routes
+    through the experiment engine, gaining parallel execution across models
+    and the persistent result cache. ``engine=None`` uses the process-wide
+    default engine.
+    """
+    # Imported here: the engine module itself depends on run_model above.
+    from .engine import SimJob, TraceSpec, default_engine
+
     models = models if models is not None else ("nosec", "baseline", "salus")
+    if isinstance(trace, TraceSpec):
+        eng = engine if engine is not None else default_engine()
+        jobs = [SimJob(config=config, trace=trace, model=m) for m in models]
+        results = eng.map(jobs)
+        return {job.model: results[job] for job in jobs}
     return {m: run_model(config, trace, m) for m in models}

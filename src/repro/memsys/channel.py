@@ -4,21 +4,73 @@ A transaction of ``n`` bytes occupies a channel for ``n / bytes_per_cycle``
 cycles and completes a fixed access latency after its service slot ends
 (latency is pipelined and does not occupy the channel).
 
-Channels are modelled as *work-conserving* leaky-bucket servers rather than
-strict FCFS ``next_free`` timestamps: the pending backlog drains in real
-time between bookings, so a serially-chained access (e.g. a Merkle walk
-whose level-N read starts only after level N-1 returned) leaves the channel
-free for other traffic during its think time instead of punching a hole in
-the schedule. This matters because the simulator books requests in issue
-order while their timestamps are not monotone. Busy cycles and per-category
-byte counts feed Figures 11 and 12.
+Channels are modelled as *timestamp-ordered* work-conserving servers rather
+than strict FCFS ``next_free`` timestamps: a booking waits behind the work
+that arrived (by timestamp) at or before it, regardless of the order the
+simulator happened to issue the bookings in. A serially-chained access
+(e.g. a Merkle walk whose level-N read starts only after level N-1
+returned) therefore leaves the channel free for other traffic during its
+think time instead of punching a hole in the schedule, and a booking whose
+timestamp lies in the past still queues behind everything that was already
+in flight back then - wall-clock progress made by later-timestamped traffic
+can never retroactively erase its queue. Busy cycles and per-category byte
+counts feed Figures 11 and 12.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from ..errors import SimulationError
 from ..sim.stats import Side, StatRegistry, TrafficCategory
+
+
+class _ServiceTimeline:
+    """Completion frontier of a server fed with non-monotone timestamps.
+
+    Jobs are kept sorted by arrival timestamp; ``frontier[i]`` is the time
+    the server finishes all jobs up to and including ``i`` when serving them
+    in timestamp order (``F = max(F_prev, t_i) + busy_i``). A new arrival at
+    ``now`` starts after the frontier of every job with timestamp <= now.
+
+    Completions already handed out are never revised: a retro-timestamped
+    insertion only raises the frontier that *future* queries observe. For
+    monotone timestamps this degenerates to the classic work-conserving
+    leaky bucket (insertion is an append and the prefix scan is O(1)).
+    """
+
+    __slots__ = ("_times", "_busys", "_frontier")
+
+    def __init__(self) -> None:
+        self._times: list = []
+        self._busys: list = []
+        self._frontier: list = []
+
+    def book(self, now: int, busy: int) -> int:
+        """Insert a job of ``busy`` service cycles arriving at ``now``.
+
+        Returns the cycle its service slot ends (no latency applied).
+        """
+        idx = bisect_right(self._times, now)
+        frontier = self._frontier[idx - 1] if idx else 0
+        self._times.insert(idx, now)
+        self._busys.insert(idx, busy)
+        self._frontier.insert(idx, 0)
+        completion = max(frontier, now) + busy
+        self._frontier[idx] = frontier = completion
+        for i in range(idx + 1, len(self._times)):
+            updated = max(frontier, self._times[i]) + self._busys[i]
+            if updated == self._frontier[i]:
+                break  # the ripple died out; the rest of the suffix is unchanged
+            self._frontier[i] = frontier = updated
+        return completion
+
+    def backlog(self, now: int) -> int:
+        """Queued service cycles a job arriving at ``now`` would wait."""
+        idx = bisect_right(self._times, now)
+        if not idx:
+            return 0
+        return max(0, self._frontier[idx - 1] - now)
 
 
 class Channel:
@@ -47,13 +99,11 @@ class Channel:
         self.side = side
         self.stats = stats
         self.busy_cycles: int = 0
-        # Leaky-bucket state: backlog cycles still queued as of _last_time.
         # Two service classes model FR-FCFS-style scheduling: small demand
         # (priority) reads overtake bulk migration/writeback transfers, but
         # every transfer consumes bandwidth that bulk traffic must wait for.
-        self._backlog: float = 0.0        # total queued work (bulk view)
-        self._prio_backlog: float = 0.0   # queued priority work only
-        self._last_time: int = 0
+        self._all_work = _ServiceTimeline()    # every transaction (bulk view)
+        self._prio_work = _ServiceTimeline()   # priority transactions only
 
     def service_cycles(self, nbytes: int) -> int:
         """Channel occupancy for a transaction of ``nbytes``."""
@@ -61,14 +111,7 @@ class Channel:
 
     def queue_delay(self, now: int) -> float:
         """Backlog (cycles of queued work) a bulk request arriving now sees."""
-        return max(0.0, self._backlog - max(0, now - self._last_time))
-
-    def _drain(self, now: int) -> None:
-        if now > self._last_time:
-            elapsed = now - self._last_time
-            self._backlog = max(0.0, self._backlog - elapsed)
-            self._prio_backlog = max(0.0, self._prio_backlog - elapsed)
-            self._last_time = now
+        return float(self._all_work.backlog(now))
 
     def book(
         self,
@@ -95,18 +138,15 @@ class Channel:
                 f"{self.name}: invalid booking now={now} nbytes={nbytes}"
             )
         busy = self.service_cycles(nbytes)
-        # Drain the backlog for the wall-clock time that passed, then queue
-        # this transaction behind whatever work remains in its class.
-        self._drain(now)
+        # Every transaction consumes bandwidth the bulk class must wait for;
+        # priority transactions additionally get their own (shorter) queue.
+        bulk_completion = self._all_work.book(now, busy)
         if priority:
-            start_delay = self._prio_backlog
-            self._prio_backlog += busy
+            completion = self._prio_work.book(now, busy)
         else:
-            start_delay = self._backlog
-        self._backlog += busy
+            completion = bulk_completion
         self.busy_cycles += busy
         self.stats.add_traffic(self.side, category, nbytes)
-        completion = now + int(start_delay) + busy
         if critical:
             return completion + self.latency_cycles
         return completion
@@ -134,26 +174,22 @@ class CryptoEngine:
         self.latency_cycles = latency_cycles
         self.interval_cycles = interval_cycles
         self.sectors_processed: int = 0
-        self._backlog: float = 0.0
-        self._last_time: int = 0
+        self._work = _ServiceTimeline()
 
     def book(self, ready: int, sectors: int = 1) -> int:
         """Push ``sectors`` sector operations; returns completion of the last.
 
-        Same work-conserving backlog model as :class:`Channel`: the pipe
-        drains between bookings, so out-of-order timestamps cannot punch
-        idle holes into the schedule.
+        Same timestamp-ordered service model as :class:`Channel`: a booking
+        queues behind the ops that entered the pipe at or before its own
+        timestamp, so out-of-order bookings neither punch idle holes into
+        the schedule nor jump ahead of work that was already in flight.
         """
         if sectors <= 0:
             raise SimulationError(f"{self.name}: sectors must be positive")
         busy = sectors * self.interval_cycles
-        if ready > self._last_time:
-            self._backlog = max(0.0, self._backlog - (ready - self._last_time))
-            self._last_time = ready
-        start_delay = self._backlog
-        self._backlog += busy
+        slot_end = self._work.book(ready, busy)
         self.sectors_processed += sectors
-        return ready + int(start_delay) + busy - self.interval_cycles + self.latency_cycles
+        return slot_end - self.interval_cycles + self.latency_cycles
 
 
 class LinkPair:

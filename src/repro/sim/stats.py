@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 
 class TrafficCategory(enum.Enum):
@@ -79,8 +79,8 @@ class StatRegistry:
     # -- queries ---------------------------------------------------------------
     def bytes_for(
         self,
-        side: Side = None,
-        category: TrafficCategory = None,
+        side: Optional[Side] = None,
+        category: Optional[TrafficCategory] = None,
     ) -> int:
         """Total bytes, filtered by side and/or category (None = all)."""
         total = 0
@@ -92,7 +92,7 @@ class StatRegistry:
             total += n
         return total
 
-    def security_bytes(self, side: Side = None) -> int:
+    def security_bytes(self, side: Optional[Side] = None) -> int:
         """Bytes of traffic that only exist because of the security model."""
         total = 0
         for (s, c), n in self.traffic_bytes.items():
@@ -102,11 +102,11 @@ class StatRegistry:
                 total += n
         return total
 
-    def data_bytes(self, side: Side = None) -> int:
+    def data_bytes(self, side: Optional[Side] = None) -> int:
         """Bytes of demand/migration data traffic."""
         return self.bytes_for(side=side, category=TrafficCategory.DATA)
 
-    def total_bytes(self, side: Side = None) -> int:
+    def total_bytes(self, side: Optional[Side] = None) -> int:
         return self.bytes_for(side=side)
 
     @property
@@ -136,3 +136,30 @@ class StatRegistry:
             self.instructions += other.instructions
             self.final_cycle = max(self.final_cycle, other.final_cycle)
         return self
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe dump of every tally (inverse of :meth:`from_dict`)."""
+        return {
+            "traffic_bytes": self.breakdown(),
+            "counters": dict(self.counters),
+            "instructions": self.instructions,
+            "final_cycle": self.final_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StatRegistry":
+        """Rebuild a registry from :meth:`to_dict` output.
+
+        Raises ``ValueError``/``KeyError`` on malformed input so callers
+        (the result cache) can treat corruption as a cache miss.
+        """
+        registry = cls()
+        for key, nbytes in dict(data.get("traffic_bytes", {})).items():
+            side_value, category_value = key.split(".", 1)
+            registry.traffic_bytes[(Side(side_value), TrafficCategory(category_value))] = int(nbytes)
+        for name, count in dict(data.get("counters", {})).items():
+            registry.counters[str(name)] = count
+        registry.instructions = int(data.get("instructions", 0))
+        registry.final_cycle = int(data.get("final_cycle", 0))
+        return registry

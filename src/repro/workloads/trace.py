@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import Iterator, List
 
@@ -45,6 +47,24 @@ class Trace:
 
     def distinct_pages(self, page_bytes: int) -> int:
         return len({r.cxl_addr // page_bytes for r in self.requests})
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace.
+
+        Covers the metadata and the full ordered request stream (address,
+        direction, SM, warp). Deterministic across processes and platforms -
+        no reliance on ``hash()`` - so it can anchor cross-process cache
+        keys: generating the same (bench, n_accesses, seed, geometry) in two
+        different interpreters must yield the same fingerprint.
+        """
+        digest = hashlib.sha256()
+        header = f"{self.name}|{self.footprint_pages}|{self.compute_per_mem}|{len(self.requests)}"
+        digest.update(header.encode("utf-8"))
+        for req in self.requests:
+            digest.update(
+                struct.pack("<QBII", req.cxl_addr, 1 if req.is_write else 0, req.sm, req.warp)
+            )
+        return digest.hexdigest()
 
     def head(self, n: int) -> "Trace":
         """A truncated copy (used by fast tests)."""

@@ -7,7 +7,9 @@ from repro.harness.experiments import clear_cache
 
 
 @pytest.fixture(autouse=True)
-def _clean_cache():
+def _clean_cache(monkeypatch, tmp_path):
+    # Keep the on-disk result cache out of the repository during tests.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "salus-cache"))
     clear_cache()
     yield
     clear_cache()
@@ -39,6 +41,24 @@ class TestParser:
     def test_figure_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig10", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_figures_command_is_figure_all(self):
+        args = build_parser().parse_args(["figures", "--jobs", "2"])
+        assert args.name == "all"
+        assert args.jobs == 2
+
+    def test_cache_dir_flag(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "nw", "--cache-dir", str(tmp_path / "c")]
+        )
+        assert args.cache_dir == str(tmp_path / "c")
 
     def test_knobs(self):
         args = build_parser().parse_args(
@@ -82,3 +102,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fig. 10" in out
         assert "geomean_improvement" in out
+
+    def test_figure_warm_cache_identical_output(self, tmp_path, capsys):
+        """A second invocation is served from the on-disk cache, byte-identical."""
+        argv = [
+            "figure", "fig11", "--accesses", "600", "--benchmarks", "nw",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        # Each CLI invocation builds a fresh engine, so the second run can
+        # only be served by the persistent on-disk cache.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_figure_parallel_matches_serial(self, capsys):
+        argv = ["figure", "fig03", "--accesses", "600",
+                "--benchmarks", "nw", "--no-cache"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

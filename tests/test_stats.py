@@ -1,0 +1,117 @@
+"""Tests for StatRegistry merge semantics and (de)serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.gpu.gpusim import RunResult
+from repro.harness.runner import run_model
+from repro.sim.stats import Side, StatRegistry, TrafficCategory
+from repro.workloads.suite import build_trace
+
+
+def _registry(device_data=0, cxl_mac=0, counters=None, instructions=0, final_cycle=0):
+    reg = StatRegistry()
+    if device_data:
+        reg.add_traffic(Side.DEVICE, TrafficCategory.DATA, device_data)
+    if cxl_mac:
+        reg.add_traffic(Side.CXL, TrafficCategory.MAC, cxl_mac)
+    for name, amount in (counters or {}).items():
+        reg.bump(name, amount)
+    reg.instructions = instructions
+    reg.final_cycle = final_cycle
+    return reg
+
+
+class TestMerge:
+    def test_merge_sums_traffic_and_counters(self):
+        a = _registry(device_data=100, counters={"fills": 2}, instructions=10,
+                      final_cycle=50)
+        b = _registry(device_data=40, cxl_mac=8, counters={"fills": 3, "evicts": 1},
+                      instructions=7, final_cycle=20)
+        a.merge([b])
+        assert a.bytes_for(Side.DEVICE, TrafficCategory.DATA) == 140
+        assert a.bytes_for(Side.CXL, TrafficCategory.MAC) == 8
+        assert a.counters["fills"] == 5
+        assert a.counters["evicts"] == 1
+        assert a.instructions == 17
+
+    def test_merge_final_cycle_is_max_not_sum(self):
+        a = _registry(final_cycle=50)
+        b = _registry(final_cycle=200)
+        c = _registry(final_cycle=120)
+        a.merge([b, c])
+        assert a.final_cycle == 200
+
+    def test_merge_multi_registry_fold_matches_pairwise(self):
+        shards = [
+            _registry(device_data=i * 10, cxl_mac=i, counters={"x": i},
+                      instructions=i, final_cycle=i * 100)
+            for i in range(1, 5)
+        ]
+        folded = StatRegistry().merge(shards)
+        pairwise = StatRegistry()
+        for shard in shards:
+            pairwise.merge([shard])
+        assert folded.to_dict() == pairwise.to_dict()
+
+    def test_merge_returns_self(self):
+        a = _registry()
+        assert a.merge([_registry()]) is a
+
+
+class TestStatRegistryRoundTrip:
+    def test_round_trip_through_json(self):
+        reg = _registry(device_data=123, cxl_mac=45,
+                        counters={"fills": 7}, instructions=99, final_cycle=1000)
+        reg.add_traffic(Side.CXL, TrafficCategory.REENC_DATA, 512)
+        back = StatRegistry.from_dict(json.loads(json.dumps(reg.to_dict())))
+        assert back.to_dict() == reg.to_dict()
+        assert back.breakdown() == reg.breakdown()
+        assert back.ipc == reg.ipc
+        assert back.security_bytes() == reg.security_bytes()
+        assert back.security_bytes(Side.CXL) == reg.security_bytes(Side.CXL)
+
+    def test_empty_registry_round_trips(self):
+        back = StatRegistry.from_dict(StatRegistry().to_dict())
+        assert back.total_bytes() == 0
+        assert back.ipc == 0.0
+
+    def test_malformed_side_rejected(self):
+        with pytest.raises(ValueError):
+            StatRegistry.from_dict({"traffic_bytes": {"moon.data": 5}})
+
+    def test_optional_filters_accept_none(self):
+        reg = _registry(device_data=64, cxl_mac=32)
+        assert reg.bytes_for() == 96
+        assert reg.bytes_for(side=None, category=None) == 96
+        assert reg.total_bytes(None) == 96
+
+
+class TestRunResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = SystemConfig.small()
+        trace = build_trace("nw", n_accesses=600, seed=3,
+                            num_sms=config.gpu.num_sms)
+        return run_model(config, trace, "salus")
+
+    def test_round_trip_preserves_everything_figures_use(self, result):
+        back = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.model == result.model
+        assert back.workload == result.workload
+        assert back.ipc == result.ipc
+        assert back.cycles == result.cycles
+        assert back.fills == result.fills
+        assert back.evictions == result.evictions
+        assert back.counters == result.counters
+        assert back.stats.breakdown() == result.stats.breakdown()
+        assert back.stats.security_bytes() == result.stats.security_bytes()
+        assert back.stats.security_bytes(Side.CXL) == result.stats.security_bytes(Side.CXL)
+        assert dict(back.stats.counters) == dict(result.stats.counters)
+
+    def test_to_dict_is_its_own_fixpoint(self, result):
+        once = RunResult.from_dict(result.to_dict())
+        twice = RunResult.from_dict(once.to_dict())
+        assert once.to_dict() == twice.to_dict() == result.to_dict()
