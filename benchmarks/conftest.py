@@ -19,6 +19,11 @@ Environment knobs:
 * ``REPRO_BENCH_CACHE_DIR`` - persistent result-cache directory; unset
   (the default) keeps benchmark runs memory-only so the reported times
   always reflect real simulations.
+* ``REPRO_BENCH_TRACE`` - set to ``1`` to write one Chrome-trace JSON per
+  simulation (forces fresh simulations; see docs/TRACING.md). The reported
+  times then include trace serialization.
+* ``REPRO_BENCH_TRACE_OUT`` - directory for those trace files
+  (default ``traces/``; only with ``REPRO_BENCH_TRACE``).
 """
 
 import os
@@ -74,9 +79,13 @@ def engine():
     benchmark; sharing the engine (and its in-process memo) across the
     bench files preserves that reuse exactly as the old run cache did.
     """
+    tracing = os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
     return ExperimentEngine(
         jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1),
         cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
+        trace_dir=(
+            os.environ.get("REPRO_BENCH_TRACE_OUT", "traces") if tracing else None
+        ),
     )
 
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that intra-repository markdown links resolve.
+
+Scans every tracked-ish ``*.md`` file under the repo root for inline
+``[text](target)`` links, and fails (exit 1, one line per break) if a
+relative target does not exist on disk. External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored; a
+``path#fragment`` target is checked for the path part only. Stdlib only -
+this is the CI docs job's whole dependency footprint.
+
+Usage: python scripts/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".salus-cache", "__pycache__", ".pytest_cache", "node_modules"}
+
+# Inline links only; reference-style links are not used in this repo.
+# [text](target) with no nested parens in the target.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path):
+    """Yield (line_number, target) for each broken link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("<"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            if target.startswith("/"):
+                resolved = root / target.lstrip("/")
+            else:
+                resolved = path.parent / target
+            if not resolved.exists():
+                yield lineno, match.group(1)
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    broken = 0
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            broken += 1
+            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+    print(f"checked {checked} markdown files, {broken} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro figure fig10 --accesses 20000
     python -m repro figures --jobs 4           # all figures, 4 worker processes
     python -m repro figure all --benchmarks nw btree sgemm
+    python -m repro trace nw                   # Chrome/Perfetto trace.json
+    python -m repro run nw --json > r.json && python -m repro report r.json
     python -m repro list
 
 Every command accepts ``--accesses`` (trace length), ``--seed``, and the
@@ -14,7 +16,15 @@ Figure-13/14 knobs ``--cxl-bw-ratio`` / ``--capacity-ratio``. ``run``,
 (parallel worker processes), ``--cache-dir`` and ``--no-cache``: finished
 simulations are stored as content-addressed JSON under the cache directory
 (default ``.salus-cache/``, or $REPRO_CACHE_DIR), so repeating a figure
-sweep replays results instead of re-simulating.
+sweep replays results instead of re-simulating. Their ``--trace`` flag
+additionally writes one Chrome-trace JSON per simulation into ``--trace-out``
+(tracing forces fresh simulations; see docs/TRACING.md).
+
+``trace`` without a positional output runs one traced simulation and writes
+a Chrome-trace ``trace.json``; with a positional output it keeps its
+original meaning, exporting the generated workload to ``.npz``. ``report``
+renders a ``repro run --json`` dump (or any list of serialized RunResults)
+as a markdown or CSV observability report.
 """
 
 from __future__ import annotations
@@ -87,11 +97,20 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
                              "(default .salus-cache, or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the on-disk result cache")
+    parser.add_argument("--trace", action="store_true",
+                        help="write one Chrome-trace JSON per simulation into "
+                             "--trace-out (forces fresh simulations)")
+    parser.add_argument("--trace-out", default="traces", metavar="DIR",
+                        help="directory for per-simulation trace files "
+                             "(default traces/; only with --trace)")
 
 
 def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
     cache_dir = None if args.no_cache else args.cache_dir
-    return ExperimentEngine(jobs=max(1, args.jobs), cache_dir=cache_dir)
+    trace_dir = args.trace_out if getattr(args, "trace", False) else None
+    return ExperimentEngine(
+        jobs=max(1, args.jobs), cache_dir=cache_dir, trace_dir=trace_dir
+    )
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -168,19 +187,75 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """The ``trace`` command: export a generated trace to ``.npz``."""
-    from .workloads.io import save_trace
+    """The ``trace`` command: traced simulation, or ``.npz`` workload export.
 
+    With a positional ``output`` this keeps its original behavior and
+    exports the generated workload to ``.npz``. Without one it runs a single
+    traced simulation and writes the Chrome-trace timeline to
+    ``--trace-out``. The traced run always executes in-process - ``--jobs``
+    is accepted for command-line symmetry with ``run`` but has no effect
+    here, which is what makes the emitted trace byte-identical regardless
+    of parallelism settings.
+    """
     config = _build_config(args)
     trace = build_trace(
         args.benchmark, n_accesses=args.accesses, seed=args.seed,
         num_sms=config.gpu.num_sms,
     )
-    path = save_trace(trace, args.output)
+    if args.output:
+        from .workloads.io import save_trace
+
+        path = save_trace(trace, args.output)
+        print(
+            f"wrote {len(trace)} requests ({trace.footprint_pages} pages, "
+            f"{trace.write_fraction:.0%} writes) to {path}"
+        )
+        return 0
+
+    from .sim.trace import Tracer
+
+    tracer = Tracer(capacity=args.trace_events)
+    result = run_model(config, trace, args.model, tracer=tracer)
+    path = tracer.write(args.trace_out)
     print(
-        f"wrote {len(trace)} requests ({trace.footprint_pages} pages, "
-        f"{trace.write_fraction:.0%} writes) to {path}"
+        f"{args.benchmark}/{args.model}: ipc={result.ipc:.4f}, "
+        f"{tracer.total_recorded} events recorded ({tracer.dropped} dropped)"
     )
+    print(f"wrote {path} - open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """The ``report`` command: render serialized results as md/CSV."""
+    import json
+    from pathlib import Path
+
+    from .gpu.gpusim import RunResult
+    from .harness.report import render_csv, render_markdown_report
+
+    try:
+        with open(args.results, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if isinstance(payload, dict):
+            payload = [payload]
+        results = [RunResult.from_dict(entry) for entry in payload]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"repro report: {args.results} is not a serialized RunResult "
+            f"list (expected 'repro run --json' output): {exc!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "csv":
+        text = render_csv(results)
+    else:
+        text = render_markdown_report(results)
+    if args.output:
+        out = Path(args.output)
+        out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} report for {len(results)} run(s) to {out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -239,11 +314,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine(p_run)
     p_run.set_defaults(func=cmd_run)
 
-    p_trace = sub.add_parser("trace", help="export a benchmark trace to .npz")
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced simulation (Chrome trace), "
+             "or export a workload to .npz",
+    )
     p_trace.add_argument("benchmark", choices=benchmark_names())
-    p_trace.add_argument("output", help="output .npz path")
+    p_trace.add_argument("output", nargs="?", default=None,
+                         help="optional .npz path: export the generated "
+                              "workload instead of running a traced simulation")
+    p_trace.add_argument("--model", default="salus", choices=MODEL_NAMES,
+                         help="security model for the traced run "
+                              "(default salus)")
+    p_trace.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                         help="Chrome-trace output path (default trace.json)")
+    p_trace.add_argument("--trace-events", type=int, default=200_000,
+                         metavar="N",
+                         help="tracer ring capacity; older events are "
+                              "dropped past this (default 200000)")
+    p_trace.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="accepted for symmetry with 'run'; traced "
+                              "simulations always execute in-process")
     _add_common(p_trace)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report", help="render 'run --json' results as a markdown/CSV report"
+    )
+    p_report.add_argument("results", help="JSON file of serialized RunResults "
+                                          "(e.g. from 'repro run --json')")
+    p_report.add_argument("--format", choices=("md", "csv"), default="md",
+                          help="report format (default md)")
+    p_report.add_argument("-o", "--output", default=None,
+                          help="write the report to a file instead of stdout")
+    p_report.set_defaults(func=cmd_report)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=list(FIGURES) + ["all"])

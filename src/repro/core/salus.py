@@ -25,6 +25,16 @@ What never changes inside this class: data ciphertext crosses the link
 **as-is** in both directions, because all IVs are keyed to permanent CXL
 addresses. That single property is where most of Figure 10's speedup
 comes from.
+
+Observability: the model publishes its event counters into the run's
+:class:`~repro.sim.stats.StatRegistry` under the ``salus.`` namespace
+(``salus.first_touch_fetches``, ``salus.chunk_overflow_reencrypts``,
+``salus.unification_reencrypts``, ``salus.conv_overflow_reencrypts``,
+``salus.page_epoch_overflows``); these ride along in
+``RunResult.counters`` and are documented in docs/METRICS.md. When the
+simulation carries a :class:`~repro.sim.trace.Tracer` (``repro trace``),
+first-touch metadata fetches and re-encryptions additionally appear on the
+``salus`` track of the exported timeline.
 """
 
 from __future__ import annotations
@@ -198,6 +208,12 @@ class SalusSecurityModel(TimingSecurityModel):
         caches = fabric.device_meta[channel]
         device_chunk = frame * geom.chunks_per_page + chunk_in_page
         self.stats.bump("salus.first_touch_fetches")
+        tracer = fabric.tracer
+        if tracer.enabled:
+            tracer.begin(
+                "salus", "first_touch_fetch", now, cat="security",
+                args={"page": page, "chunk": chunk_in_page, "critical": critical},
+            )
 
         # MAC sectors: 2 x 32 B per chunk, carrying the embedded epoch
         # (``link_paid`` marks the non-lazy fill path, where the page's MAC
@@ -274,6 +290,8 @@ class SalusSecurityModel(TimingSecurityModel):
         fabric.bmt_update_walk(
             now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd2, bmt_wr2
         )
+        if tracer.enabled:
+            tracer.end("salus", max(mac_ready, ctr_ready))
         return max(mac_ready, ctr_ready)
 
     def _install_conventional(
@@ -293,6 +311,11 @@ class SalusSecurityModel(TimingSecurityModel):
         resident = self._resident_major.get((channel, unit))
         if resident is not None and resident != epoch:
             self.stats.bump("salus.unification_reencrypts")
+            if self.fabric.tracer.enabled:
+                self.fabric.tracer.instant(
+                    "salus", "unification_reencrypt", now, cat="security",
+                    args={"channel": channel, "unit": unit},
+                )
             nbytes = geom.chunk_bytes
             done = self.fabric.device_read(
                 now, channel, nbytes, TrafficCategory.REENC_DATA, critical=False
@@ -376,6 +399,11 @@ class SalusSecurityModel(TimingSecurityModel):
     def _reencrypt_chunk(self, now: int, channel: int, loc: SectorLoc) -> None:
         """A chunk-local minor overflow re-encrypts only its own 256 B."""
         self.stats.bump("salus.chunk_overflow_reencrypts")
+        if self.fabric.tracer.enabled:
+            self.fabric.tracer.instant(
+                "salus", "chunk_overflow_reencrypt", now, cat="security",
+                args={"channel": channel, "chunk": loc.device_chunk},
+            )
         nbytes = self.geometry.chunk_bytes
         done = self.fabric.device_read(
             now, channel, nbytes, TrafficCategory.REENC_DATA, critical=False
@@ -469,6 +497,11 @@ class SalusSecurityModel(TimingSecurityModel):
                 result = self.cxl_state.collapse(page, chunk)
                 if result.overflowed:
                     self.stats.bump("salus.page_epoch_overflows")
+                    if fabric.tracer.enabled:
+                        fabric.tracer.instant(
+                            "salus", "page_epoch_overflow", now, cat="security",
+                            args={"page": page},
+                        )
                     fabric.link_read(
                         now, geom.page_bytes, TrafficCategory.REENC_DATA,
                         critical=False,

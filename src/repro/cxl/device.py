@@ -19,15 +19,31 @@ from ..errors import AddressError
 
 
 class SectorStore:
-    """Sparse sector-granularity byte storage."""
+    """Sparse sector-granularity byte storage.
 
-    def __init__(self, sector_bytes: int = SECTOR_BYTES) -> None:
+    Observability: the store counts its reads/writes (``reads_performed``,
+    ``writes_performed``) and, when built with a
+    :class:`~repro.sim.trace.Tracer`, tags each write as an instant event on
+    its ``name`` component - the functional-layer view of "which image is
+    being mutated" that pairs with the timing layer's byte accounting.
+    """
+
+    def __init__(
+        self, sector_bytes: int = SECTOR_BYTES, name: str = "store", tracer=None
+    ) -> None:
+        from ..sim.trace import resolve_tracer
+
         self.sector_bytes = sector_bytes
+        self.name = name
+        self.tracer = resolve_tracer(tracer)
+        self.reads_performed = 0
+        self.writes_performed = 0
         self._sectors: Dict[int, bytes] = {}
 
     def read(self, sector_index: int) -> bytes:
         """Read one sector; untouched sectors read as zeros."""
         self._check(sector_index)
+        self.reads_performed += 1
         return self._sectors.get(sector_index, b"\x00" * self.sector_bytes)
 
     def write(self, sector_index: int, data: bytes) -> None:
@@ -36,6 +52,12 @@ class SectorStore:
             raise AddressError(
                 f"sector write must be exactly {self.sector_bytes} bytes, "
                 f"got {len(data)}"
+            )
+        self.writes_performed += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.name, "sector_write", self.writes_performed,
+                cat="functional", args={"sector": sector_index},
             )
         self._sectors[sector_index] = bytes(data)
 

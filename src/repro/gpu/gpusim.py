@@ -23,7 +23,7 @@ figure of the paper is produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..config import SystemConfig
 from ..cxl.mapping import MappingTable
@@ -36,7 +36,10 @@ from ..migration.engine import MigrationEngine
 from ..migration.page_cache import PageCache
 from ..security.fabric import MemoryFabric
 from ..security.model import TimingSecurityModel
+from ..sim.events import EventQueue, PeriodicSampler
+from ..sim.metrics import collect_metrics
 from ..sim.stats import Side, StatRegistry, TrafficCategory
+from ..sim.trace import Tracer, resolve_tracer
 from .interconnect import Interconnect
 from .sm import StreamingMultiprocessor
 
@@ -46,7 +49,19 @@ MAPPING_HIT_CYCLES = 2
 
 @dataclass
 class RunResult:
-    """Everything a finished simulation exposes to the harness."""
+    """Everything a finished simulation exposes to the harness.
+
+    Serialization contract (relied on by the result cache and ``repro
+    report``): :meth:`to_dict` / :meth:`from_dict` round-trip the complete
+    observable state - the :class:`~repro.sim.stats.StatRegistry` tallies,
+    the migration counts, the model counter namespace, and the
+    per-component ``metrics`` tree of :mod:`repro.sim.metrics` - so a
+    result loaded from the on-disk cache renders the same report as a
+    fresh simulation. Derived quantities (``ipc``, security shares, hit
+    rates) are intentionally *not* stored; they are recomputed from the raw
+    tallies at report time. Any change to this contract must bump
+    ``repro.harness.engine.SCHEMA_VERSION``.
+    """
 
     model: str
     workload: str
@@ -54,6 +69,7 @@ class RunResult:
     fills: int
     evictions: int
     counters: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -84,6 +100,7 @@ class RunResult:
             "traffic_bytes": self.stats.breakdown(),
             "security_bytes": self.stats.security_bytes(),
             "counters": {k: v for k, v in self.counters.items()},
+            "metrics": {k: v for k, v in self.metrics.items()},
             "stats": self.stats.to_dict(),
         }
 
@@ -97,6 +114,7 @@ class RunResult:
             fills=int(data["fills"]),
             evictions=int(data["evictions"]),
             counters=dict(data.get("counters", {})),
+            metrics=dict(data.get("metrics", {})),
         )
 
     def utilization(self, side: Side, fabric_busy: int) -> float:
@@ -113,13 +131,20 @@ class GpuSim:
         config: SystemConfig,
         footprint_pages: int,
         model_factory,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``model_factory(fabric) -> TimingSecurityModel`` builds the
-        security personality against this run's fabric."""
+        security personality against this run's fabric. ``tracer`` (optional)
+        receives the structured event stream; with the default
+        ``NULL_TRACER`` every instrumentation site is a single attribute
+        check and simulated timing is bit-identical either way."""
         self.config = config
         self.geometry = config.geometry
         self.stats = StatRegistry()
-        self.fabric = MemoryFabric(config, footprint_pages, self.stats)
+        self.tracer = resolve_tracer(tracer)
+        self.fabric = MemoryFabric(
+            config, footprint_pages, self.stats, tracer=self.tracer
+        )
         self.model: TimingSecurityModel = model_factory(self.fabric)
 
         gpu = config.gpu
@@ -128,7 +153,10 @@ class GpuSim:
         ]
         self.interconnect = Interconnect(gpu.num_gpcs, gpu.interconnect_latency_cycles)
         self.l2 = [
-            L2Slice(c, gpu, self.geometry.sector_bytes, self.geometry.block_bytes)
+            L2Slice(
+                c, gpu, self.geometry.sector_bytes, self.geometry.block_bytes,
+                tracer=self.tracer,
+            )
             for c in range(gpu.num_channels)
         ]
         self.mapping = MappingTable(footprint_pages)
@@ -143,13 +171,41 @@ class GpuSim:
             fill_cb=self._fill_page,
             evict_cb=self._evict_page,
             evict_buffer_pages=gpu.evict_buffer_pages,
+            tracer=self.tracer,
         )
         self._now = 0  # advances with issue order; used by posted eviction work
+        # Per-epoch metric sampling (observability layer): only when tracing,
+        # so the untraced hot path never touches the event queue.
+        self._sample_queue: Optional[EventQueue] = None
+        self._sampler: Optional[PeriodicSampler] = None
+        if self.tracer.enabled:
+            self._sample_queue = EventQueue()
+            self._sampler = PeriodicSampler(
+                self._sample_queue, self.tracer.sample_epoch, self._sample_metrics
+            )
         # Demand chunk-fill state (fill_granularity="chunk"): which chunks
         # of each resident page have arrived, and in-flight chunk copies.
         self._chunk_mode = gpu.fill_granularity == "chunk"
         self._present_chunks: Dict[int, int] = {}
         self._inflight_chunks: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ sampling
+    def _sample_metrics(self, now: int) -> None:
+        """Periodic counter snapshot (Chrome 'C' events, one per epoch)."""
+        stats = self.stats
+        self.tracer.counter(
+            "traffic_bytes", now,
+            {
+                "device_data": stats.data_bytes(Side.DEVICE),
+                "device_security": stats.security_bytes(Side.DEVICE),
+                "cxl_data": stats.data_bytes(Side.CXL),
+                "cxl_security": stats.security_bytes(Side.CXL),
+            },
+        )
+        self.tracer.counter(
+            "migration", now,
+            {"fills": self.engine.fill_count, "evictions": self.engine.evict_count},
+        )
 
     # ------------------------------------------------------------------ fills
     def _fill_page(self, now: int, page: int, frame: int) -> int:
@@ -316,17 +372,33 @@ class GpuSim:
             warp = sm.pick_warp(req.warp)
             t_issue = sm.issue(warp, block_instructions)
             self._now = max(self._now, t_issue)
+            if self._sample_queue is not None and self._now > self._sample_queue.now:
+                self._sample_queue.run(until=self._now)
 
             page = self.geometry.page_of(req.cxl_addr)
             frame, ready = self._translate(t_issue, gpc, page)
             t_mem = self.interconnect.traverse(ready, gpc)
             completion = self._access_memory(t_mem, req, frame)
             sm.complete(warp, completion)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    f"sm{sm.sm_id}", "write" if req.is_write else "read",
+                    t_issue, completion - t_issue, cat="request",
+                    args={"addr": req.cxl_addr, "warp": warp},
+                )
 
         final = max((sm.drain_cycle for sm in self.sms), default=0)
+        if self._sample_queue is not None:
+            # Flush outstanding epoch samples up to the drain cycle, then a
+            # final snapshot so the counter tracks cover the whole run.
+            self._sample_queue.run(until=final)
+            if self._sampler is not None:
+                self._sampler.stop()
         self.model.finalize(final)
         self.stats.final_cycle = final
         self.stats.instructions = sum(sm.instructions for sm in self.sms)
+        if self.tracer.enabled:
+            self._sample_metrics(final)
         return self._result(workload_name)
 
     def _result(self, workload_name: str) -> RunResult:
@@ -365,4 +437,5 @@ class GpuSim:
             fills=self.engine.fill_count,
             evictions=self.engine.evict_count,
             counters=counters,
+            metrics=collect_metrics(self),
         )

@@ -52,7 +52,9 @@ from .runner import run_model
 #: Version of the (simulator semantics, result JSON) contract baked into
 #: every cache key. Bump it whenever a change makes previously cached
 #: results wrong or unreadable; old entries then miss instead of lying.
-SCHEMA_VERSION = 1
+#: v2: RunResult gained the per-component ``metrics`` tree (observability
+#: layer); v1 entries lack it and would render empty reports.
+SCHEMA_VERSION = 2
 
 #: Default on-disk cache location (overridable via $REPRO_CACHE_DIR and the
 #: CLI ``--cache-dir`` flag).
@@ -141,9 +143,19 @@ class SimJob:
             "config_fingerprint": self.config.fingerprint(),
         }
 
-    def execute(self) -> RunResult:
+    def execute(self, tracer=None) -> RunResult:
         """Run the simulation (in whatever process this is called from)."""
-        return run_model(self.config, self.trace.build(self.config), self.model)
+        return run_model(
+            self.config, self.trace.build(self.config), self.model, tracer=tracer
+        )
+
+    def trace_filename(self) -> str:
+        """Deterministic per-job Chrome-trace filename (``--trace`` runs)."""
+        return (
+            f"{self.trace.bench}-{self.model}"
+            f"-a{self.trace.n_accesses}-s{self.trace.seed}"
+            f"-{self.config.fingerprint()[:8]}.trace.json"
+        )
 
 
 @dataclass
@@ -237,17 +249,31 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
 
-def _execute_job(job: SimJob) -> Tuple[bool, object]:
+def _execute_job(job: SimJob, trace_path: Optional[str] = None) -> Tuple[bool, object]:
     """Worker entry point: run one job, never raise.
 
     Returns ``(True, RunResult)`` on success or ``(False, traceback_text)``
     on failure, so a crashed simulation surfaces as data instead of killing
-    the pool or the batch.
+    the pool or the batch. With ``trace_path`` set, the job runs under a
+    :class:`~repro.sim.trace.Tracer` and its Chrome trace is written there
+    (from whichever process executed it) before the result returns.
     """
     try:
+        if trace_path is not None:
+            from ..sim.trace import Tracer
+
+            tracer = Tracer()
+            result = job.execute(tracer=tracer)
+            tracer.write(trace_path)
+            return True, result
         return True, job.execute()
     except Exception:
         return False, traceback.format_exc()
+
+
+def _execute_job_entry(item: Tuple[SimJob, Optional[str]]) -> Tuple[bool, object]:
+    """Picklable star-apply wrapper for :func:`_execute_job` (pool.map)."""
+    return _execute_job(*item)
 
 
 class ExperimentEngine:
@@ -258,6 +284,12 @@ class ExperimentEngine:
     are still memoized for the lifetime of the engine, which is what the
     per-figure sharing of Figures 10-12 needs); a path enables the
     persistent cross-process cache.
+
+    ``trace_dir`` enables per-simulation Chrome traces: every executed job
+    writes ``<trace_dir>/<job.trace_filename()>`` from whichever process ran
+    it. Tracing forces fresh simulations (cache and memo lookups are
+    skipped - a cache hit would have no timeline to export), but finished
+    results are still written to the cache as usual.
     """
 
     def __init__(
@@ -265,6 +297,7 @@ class ExperimentEngine:
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -272,6 +305,7 @@ class ExperimentEngine:
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
         )
+        self.trace_dir: Optional[Path] = Path(trace_dir) if trace_dir is not None else None
         self.stats = EngineStats()
         self._memo: Dict[SimJob, RunResult] = {}
 
@@ -290,7 +324,12 @@ class ExperimentEngine:
 
         outcomes: Dict[SimJob, JobOutcome] = {}
         pending: List[SimJob] = []
+        tracing = self.trace_dir is not None
         for job, fingerprint in unique.items():
+            if tracing:
+                # A cached result has no timeline to export; simulate fresh.
+                pending.append(job)
+                continue
             memoized = self._memo.get(job)
             if memoized is not None:
                 self.stats.memory_hits += 1
@@ -366,16 +405,24 @@ class ExperimentEngine:
 
     def _execute_batch(self, pending: Sequence[SimJob]) -> List[Tuple[bool, object]]:
         """Run misses, in parallel when configured and possible."""
+        items: List[Tuple[SimJob, Optional[str]]] = [
+            (job, self._trace_path_for(job)) for job in pending
+        ]
         if self.workers > 1 and len(pending) > 1:
             try:
                 workers = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(pool.map(_execute_job, pending))
+                    return list(pool.map(_execute_job_entry, items))
             except Exception:
                 # Pool unavailable (restricted sandbox, broken pickling,
                 # resource limits): fall back to the serial path below.
                 pass
-        return [_execute_job(job) for job in pending]
+        return [_execute_job_entry(item) for item in items]
+
+    def _trace_path_for(self, job: SimJob) -> Optional[str]:
+        if self.trace_dir is None:
+            return None
+        return str(self.trace_dir / job.trace_filename())
 
     # -- cache management --------------------------------------------------
     def clear_memory(self) -> None:

@@ -1,9 +1,38 @@
-"""Reporting helpers: geometric means and aligned text tables."""
+"""Report rendering: tables, geomeans, and per-run observability reports.
+
+Two layers live here:
+
+* **Primitives** used by every benchmark and figure: :func:`geomean` (the
+  paper's summary statistic), :func:`format_table` (aligned monospace
+  tables), :func:`normalized`.
+* **Run reports** for the observability layer (``repro report``):
+  :func:`render_markdown_report` and :func:`render_csv` turn serialized
+  :class:`~repro.gpu.gpusim.RunResult` objects back into human-readable
+  per-component breakdowns - traffic by category and side, per-channel
+  security-traffic shares, metadata/L2/mapping cache hit rates, migration
+  activity.
+
+Serialization contract the report path relies on: ``RunResult.to_dict``
+stores the **raw tallies only** - the full
+:class:`~repro.sim.stats.StatRegistry` dump (under ``"stats"``), the model
+counter namespace (``"counters"``), and the flat per-component metric tree
+of :mod:`repro.sim.metrics` (``"metrics"``). Every ratio shown in a report
+(IPC, security share, hit rates) is *derived here at render time* via
+:func:`repro.sim.metrics.derived_metrics`, so a report rendered from a
+result-cache entry, a ``repro run --json`` dump, or a fresh in-process run
+is identical by construction. ``RunResult.from_dict`` inverts ``to_dict``
+loss-free; any change to that shape must bump
+``repro.harness.engine.SCHEMA_VERSION`` so stale cache entries miss instead
+of rendering wrong reports.
+"""
 
 from __future__ import annotations
 
 import math
 from typing import Dict, Iterable, List, Sequence
+
+from ..gpu.gpusim import RunResult
+from ..sim.metrics import channel_security_shares, derived_metrics
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -54,3 +83,113 @@ def normalized(values: Dict[str, float], basis: str) -> Dict[str, float]:
     if base == 0:
         raise ValueError(f"normalization basis {basis!r} is zero")
     return {k: v / base for k, v in values.items()}
+
+
+# -- run reports (observability layer) --------------------------------------
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    def cell(c: object) -> str:
+        if isinstance(c, float):
+            return f"{c:.4f}"
+        return str(c)
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return lines
+
+
+def render_markdown_report(results: Sequence[RunResult]) -> str:
+    """Per-run observability report as GitHub-flavoured markdown.
+
+    One section per result: run summary, traffic breakdown by
+    ``side.category``, derived ratios, and the per-component
+    security-traffic shares that answer "which channel carried the security
+    overhead".
+    """
+    lines: List[str] = ["# Salus run report", ""]
+    for result in results:
+        stats = result.stats
+        lines.append(f"## {result.workload} / {result.model}")
+        lines.append("")
+        lines.extend(
+            _md_table(
+                ("metric", "value"),
+                [
+                    ("instructions", stats.instructions),
+                    ("cycles", stats.final_cycle),
+                    ("IPC", stats.ipc),
+                    ("page fills", result.fills),
+                    ("page evictions", result.evictions),
+                    ("total traffic (MB)", stats.total_bytes() / 1e6),
+                    ("security traffic (MB)", stats.security_bytes() / 1e6),
+                ],
+            )
+        )
+        lines.append("")
+
+        lines.append("### Traffic by side and category")
+        lines.append("")
+        total = stats.total_bytes()
+        rows = [
+            (key, nbytes, (nbytes / total) if total else 0.0)
+            for key, nbytes in stats.breakdown().items()
+        ]
+        lines.extend(_md_table(("side.category", "bytes", "share"), rows))
+        lines.append("")
+
+        derived = derived_metrics(result.metrics, stats)
+        lines.append("### Derived metrics")
+        lines.append("")
+        lines.extend(
+            _md_table(
+                ("name", "value"),
+                [(k, v) for k, v in sorted(derived.items())],
+            )
+        )
+        lines.append("")
+
+        shares = channel_security_shares(result.metrics)
+        if shares:
+            lines.append("### Per-component security-traffic share")
+            lines.append("")
+            rows = [
+                (
+                    component,
+                    result.metrics.get(f"{component}.security_bytes", 0),
+                    share,
+                )
+                for component, share in shares.items()
+            ]
+            lines.extend(
+                _md_table(("component", "security bytes", "share of component"), rows)
+            )
+            lines.append("")
+
+        if result.counters:
+            model_counters = sorted(
+                (k, v) for k, v in result.counters.items() if "." in k
+            )
+            if model_counters:
+                lines.append("### Model counters")
+                lines.append("")
+                lines.extend(_md_table(("counter", "value"), model_counters))
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_csv(results: Sequence[RunResult]) -> str:
+    """Flat machine-readable dump: one ``workload,model,metric,value`` row
+    per metric-tree leaf and derived ratio, for spreadsheet/pandas digestion.
+    """
+    lines = ["workload,model,metric,value"]
+    for result in results:
+        tagged: List = []
+        tagged.extend(sorted(result.metrics.items()))
+        tagged.extend(sorted(derived_metrics(result.metrics, result.stats).items()))
+        for key, nbytes in result.stats.breakdown().items():
+            tagged.append((f"traffic.{key}", nbytes))
+        for name, value in tagged:
+            lines.append(f"{result.workload},{result.model},{name},{value}")
+    return "\n".join(lines) + "\n"

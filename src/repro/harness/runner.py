@@ -64,12 +64,19 @@ def model_factory(name: str) -> ModelFactory:
     raise ConfigError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
 
 
-def run_model(config: SystemConfig, trace: Trace, model: str) -> RunResult:
-    """Simulate ``trace`` on ``config`` under the named security model."""
+def run_model(
+    config: SystemConfig, trace: Trace, model: str, tracer=None
+) -> RunResult:
+    """Simulate ``trace`` on ``config`` under the named security model.
+
+    ``tracer`` (a :class:`~repro.sim.trace.Tracer`, optional) records the
+    structured event timeline; it never alters simulated timing.
+    """
     sim = GpuSim(
         config=config,
         footprint_pages=trace.footprint_pages,
         model_factory=model_factory(model),
+        tracer=tracer,
     )
     result = sim.run(
         trace, compute_per_mem=trace.compute_per_mem, workload_name=trace.name

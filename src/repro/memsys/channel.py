@@ -21,8 +21,11 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
+from typing import Dict, List, Optional
+
 from ..errors import SimulationError
 from ..sim.stats import Side, StatRegistry, TrafficCategory
+from ..sim.trace import Tracer, resolve_tracer
 
 
 class _ServiceTimeline:
@@ -84,6 +87,7 @@ class Channel:
         side: Side,
         stats: StatRegistry,
         overhead_cycles: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise SimulationError(f"{name}: bytes_per_cycle must be positive")
@@ -98,7 +102,12 @@ class Channel:
         self.overhead_cycles = overhead_cycles
         self.side = side
         self.stats = stats
+        self.tracer = resolve_tracer(tracer)
         self.busy_cycles: int = 0
+        # Per-component traffic attribution for the metric taxonomy:
+        # {category: [bytes, transactions]}. Kept as a plain dict of mutable
+        # pairs so the hot path pays one lookup and two adds, no strings.
+        self.category_tallies: Dict[TrafficCategory, List[int]] = {}
         # Two service classes model FR-FCFS-style scheduling: small demand
         # (priority) reads overtake bulk migration/writeback transfers, but
         # every transfer consumes bandwidth that bulk traffic must wait for.
@@ -147,6 +156,16 @@ class Channel:
             completion = bulk_completion
         self.busy_cycles += busy
         self.stats.add_traffic(self.side, category, nbytes)
+        tally = self.category_tallies.get(category)
+        if tally is None:
+            tally = self.category_tallies[category] = [0, 0]
+        tally[0] += nbytes
+        tally[1] += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.name, category.value, now, completion - now, cat="mem",
+                args={"bytes": nbytes, "prio": priority},
+            )
         if critical:
             return completion + self.latency_cycles
         return completion
@@ -167,12 +186,19 @@ class CryptoEngine:
     counter became available, not the time the data arrived.
     """
 
-    def __init__(self, name: str, latency_cycles: int, interval_cycles: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        latency_cycles: int,
+        interval_cycles: int,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if latency_cycles < 0 or interval_cycles <= 0:
             raise SimulationError(f"{name}: bad engine timing parameters")
         self.name = name
         self.latency_cycles = latency_cycles
         self.interval_cycles = interval_cycles
+        self.tracer = resolve_tracer(tracer)
         self.sectors_processed: int = 0
         self._work = _ServiceTimeline()
 
@@ -189,6 +215,11 @@ class CryptoEngine:
         busy = sectors * self.interval_cycles
         slot_end = self._work.book(ready, busy)
         self.sectors_processed += sectors
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.name, "pipe", ready, slot_end - ready, cat="crypto",
+                args={"sectors": sectors},
+            )
         return slot_end - self.interval_cycles + self.latency_cycles
 
 
@@ -205,13 +236,16 @@ class LinkPair:
         latency_cycles: int,
         stats: StatRegistry,
         overhead_cycles: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         half = bytes_per_cycle / 2.0
         self.to_device = Channel(
-            "cxl-rx", half, latency_cycles, Side.CXL, stats, overhead_cycles
+            "cxl-rx", half, latency_cycles, Side.CXL, stats, overhead_cycles,
+            tracer=tracer,
         )
         self.to_cxl = Channel(
-            "cxl-tx", half, latency_cycles, Side.CXL, stats, overhead_cycles
+            "cxl-tx", half, latency_cycles, Side.CXL, stats, overhead_cycles,
+            tracer=tracer,
         )
 
     @property

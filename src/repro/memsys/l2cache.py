@@ -14,16 +14,25 @@ from typing import Optional
 
 from ..config import GPUConfig
 from ..errors import ConfigError
+from ..sim.trace import Tracer, resolve_tracer
 from .sectored_cache import AccessResult, SectoredCache
 
 
 class L2Slice:
     """One L2 slice bound to a memory partition."""
 
-    def __init__(self, channel_id: int, gpu: GPUConfig, sector_bytes: int, line_bytes: int) -> None:
+    def __init__(
+        self,
+        channel_id: int,
+        gpu: GPUConfig,
+        sector_bytes: int,
+        line_bytes: int,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if gpu.l2_slice_bytes < line_bytes * gpu.l2_ways:
             raise ConfigError("L2 slice too small for its associativity")
         self.channel_id = channel_id
+        self.tracer = resolve_tracer(tracer)
         self.cache = SectoredCache(
             name=f"l2[{channel_id}]",
             total_bytes=gpu.l2_slice_bytes,
@@ -47,11 +56,21 @@ class L2Slice:
         completion = self._mshrs.get((local_block, sector))
         if completion is not None:
             self.mshr_merges += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.cache.name, "mshr_merge", now, cat="cache",
+                    args={"sector": sector},
+                )
         return completion
 
     def register_fill(self, now: int, local_block: int, sector: int, completion: int) -> None:
         """Record an outstanding fill so later misses can merge into it."""
         self._expire(now)
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.cache.name, "miss_fill", now, completion - now, cat="cache",
+                args={"sector": sector},
+            )
         if len(self._mshrs) >= self.max_mshrs:
             # Structural hazard: drop the oldest entry. The merge opportunity
             # is lost but correctness is unaffected (the late request simply

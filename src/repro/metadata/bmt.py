@@ -109,8 +109,18 @@ class BonsaiMerkleTree:
 
     HASH_BYTES = 16  # truncated SHA-256; 128-bit nodes as in BMT-style trees
 
-    def __init__(self, geometry: BMTGeometry, default_leaf: bytes = b"\x00" * 32) -> None:
+    def __init__(
+        self,
+        geometry: BMTGeometry,
+        default_leaf: bytes = b"\x00" * 32,
+        tracer=None,
+    ) -> None:
+        from ..sim.trace import resolve_tracer
+
         self.geometry = geometry
+        self.tracer = resolve_tracer(tracer)
+        self.verifies = 0
+        self.updates = 0
         self._default_leaf_hash = self._hash(default_leaf)
         self._levels: List[Dict[int, bytes]] = [
             {} for _ in range(geometry.depth + 1)
@@ -180,6 +190,12 @@ class BonsaiMerkleTree:
             level, index = self.geometry.parent(level, index)
             self._levels[level][index] = self._compute_node(level, index)
         self._root = self._levels[self.geometry.depth][0]
+        self.updates += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "bmt-functional", "update", self.updates, cat="functional",
+                args={"leaf": leaf_index},
+            )
 
     def verify(self, leaf_index: int, leaf_payload: bytes) -> bool:
         """Check a leaf against the on-chip root.
@@ -188,6 +204,12 @@ class BonsaiMerkleTree:
         compares the recomputed root with the trusted register; any replayed
         leaf or interior node makes the comparison fail.
         """
+        self.verifies += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "bmt-functional", "verify", self.verifies, cat="functional",
+                args={"leaf": leaf_index},
+            )
         if self._hash(leaf_payload) != self._node_hash(0, leaf_index):
             return False
         level, index = 0, leaf_index

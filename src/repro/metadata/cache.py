@@ -62,3 +62,21 @@ class MetadataCaches:
             "mac": self.mac.hit_rate,
             "bmt": self.bmt.hit_rate,
         }
+
+    def as_metrics(self, prefix: str) -> dict:
+        """Flat metric-taxonomy leaves for this partition's caches.
+
+        ``{f"{prefix}.{kind}.hits": n, ...}`` for kind in counter/mac/bmt -
+        the shape :mod:`repro.sim.metrics` stores on ``RunResult.metrics``.
+        The cache *names* (``ctr[3]``, ``mac[3]``, ``bmt[3]``; partition -1
+        is the expander-side controller) double as the trace components that
+        miss events are tagged with, so a metric line and its timeline track
+        are cross-referencable.
+        """
+        out = {}
+        for kind, cache in (
+            ("counter", self.counter), ("mac", self.mac), ("bmt", self.bmt)
+        ):
+            out[f"{prefix}.{kind}.hits"] = cache.hits
+            out[f"{prefix}.{kind}.misses"] = cache.misses
+        return out

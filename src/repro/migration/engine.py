@@ -26,8 +26,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
+from typing import Optional
+
 from ..cxl.mapping import MappingTable
 from ..errors import SimulationError
+from ..sim.trace import Tracer, resolve_tracer
 from .dirty import DirtyTracker
 from .page_cache import PageCache
 
@@ -58,10 +61,12 @@ class MigrationEngine:
         evict_cb: EvictCallback,
         evict_buffer_pages: int = 8,
         record_events: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.page_cache = page_cache
         self.mapping = mapping
         self.dirty = dirty
+        self.tracer = resolve_tracer(tracer)
         self._fill_cb = fill_cb
         self._evict_cb = evict_cb
         self._inflight_fills: Dict[int, int] = {}
@@ -104,9 +109,19 @@ class MigrationEngine:
             start = max(start, self._pending_evicts.popleft())
         if start > now:
             self.evict_stall_cycles += start - now
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "migration", "evict_buffer_stall", now, start - now,
+                    cat="migration", args={"page": page},
+                )
         completion = self._fill_cb(start, page, result.frame)
         if completion < start:
             raise SimulationError("fill callback returned a past cycle")
+        if self.tracer.enabled:
+            self.tracer.span(
+                "migration", "fill", start, completion - start, cat="migration",
+                args={"page": page, "frame": result.frame},
+            )
         self._inflight_fills[page] = completion
         self.fill_count += 1
         if self.events is not None:
@@ -126,6 +141,11 @@ class MigrationEngine:
             drain = now
         if drain > now:
             self._pending_evicts.append(drain)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "migration", "evict", now, drain - now, cat="migration",
+                args={"page": page, "frame": frame, "dirty": len(dirty_chunks)},
+            )
         self.evict_count += 1
         if self.events is not None:
             self.events.append(

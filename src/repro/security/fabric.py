@@ -14,7 +14,7 @@ that the models key their metadata state on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from ..config import SystemConfig
 from ..errors import SimulationError
@@ -23,6 +23,7 @@ from ..memsys.interleave import Interleaver
 from ..metadata.bmt import BMTGeometry
 from ..metadata.cache import MetadataCaches
 from ..sim.stats import Side, StatRegistry, TrafficCategory
+from ..sim.trace import Tracer, resolve_tracer
 
 BMT_NODE_BYTES = 64
 METADATA_UNIT_BYTES = 32
@@ -55,12 +56,19 @@ class SectorLoc:
 class MemoryFabric:
     """All shared timing resources of one simulated system."""
 
-    def __init__(self, config: SystemConfig, footprint_pages: int, stats: StatRegistry) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        footprint_pages: int,
+        stats: StatRegistry,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if footprint_pages <= 0:
             raise SimulationError("footprint_pages must be positive")
         self.config = config
         self.geometry = config.geometry
         self.stats = stats
+        self.tracer = resolve_tracer(tracer)
         self.footprint_pages = footprint_pages
 
         gpu = config.gpu
@@ -73,6 +81,7 @@ class MemoryFabric:
                 side=Side.DEVICE,
                 stats=stats,
                 overhead_cycles=gpu.device_access_overhead_cycles,
+                tracer=self.tracer,
             )
             for c in range(gpu.num_channels)
         ]
@@ -81,14 +90,21 @@ class MemoryFabric:
             latency_cycles=gpu.cxl_latency_cycles,
             stats=stats,
             overhead_cycles=gpu.cxl_access_overhead_cycles,
+            tracer=self.tracer,
         )
         sec = config.security
         self.aes_engines = [
-            CryptoEngine(f"aes[{c}]", sec.aes_latency_cycles, sec.aes_pipe_interval_cycles)
+            CryptoEngine(
+                f"aes[{c}]", sec.aes_latency_cycles, sec.aes_pipe_interval_cycles,
+                tracer=self.tracer,
+            )
             for c in range(gpu.num_channels)
         ]
         self.mac_engines = [
-            CryptoEngine(f"mac[{c}]", sec.mac_latency_cycles, sec.aes_pipe_interval_cycles)
+            CryptoEngine(
+                f"mac[{c}]", sec.mac_latency_cycles, sec.aes_pipe_interval_cycles,
+                tracer=self.tracer,
+            )
             for c in range(gpu.num_channels)
         ]
         self.device_meta = [
@@ -178,6 +194,11 @@ class MemoryFabric:
         ready = now
         if not result.sector_hit:
             ready = read_fn(now, METADATA_UNIT_BYTES)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    cache.name, f"{category.value}_miss", now, cat="metadata",
+                    args={"unit": unit},
+                )
         if result.evicted is not None and result.evicted.dirty_sectors:
             for _ in result.evicted.dirty_sectors:
                 write_fn(now, METADATA_UNIT_BYTES)
@@ -200,6 +221,7 @@ class MemoryFabric:
         costs nothing. Each missing node is a 64 B read.
         """
         ready = now
+        levels = 0
         for level, index in geom.path(leaf):
             node = geom.node_ordinal(level, index)
             # A 64 B node occupies half a 128 B cache line: two nodes per
@@ -210,7 +232,13 @@ class MemoryFabric:
                     write_fn(now, BMT_NODE_BYTES)
             if result.sector_hit:
                 break
+            levels += 1
             ready = max(ready, read_fn(ready, BMT_NODE_BYTES))
+        if levels and self.tracer.enabled:
+            self.tracer.span(
+                cache.name, "bmt_walk", now, ready - now, cat="metadata",
+                args={"leaf": leaf, "levels": levels},
+            )
         return ready
 
     def bmt_update_walk(

@@ -102,3 +102,36 @@ class EventQueue:
         if until is not None and self.now < until and not self._heap:
             self.now = until
         return fired
+
+
+class PeriodicSampler:
+    """A self-rescheduling periodic callback on an :class:`EventQueue`.
+
+    Backs the observability layer's per-epoch metric snapshots: every
+    ``epoch`` cycles the queue fires ``callback(now)``, which typically
+    records a counter event on a :class:`~repro.sim.trace.Tracer`. The
+    simulator drives the queue alongside its booking walk (``run(until=t)``
+    whenever simulated time advances), so samples land deterministically on
+    epoch boundaries regardless of request interleaving.
+    """
+
+    def __init__(self, queue: EventQueue, epoch: int, callback: Callable[[int], None]) -> None:
+        if epoch <= 0:
+            raise SimulationError(f"sampler epoch must be positive, got {epoch}")
+        self.queue = queue
+        self.epoch = epoch
+        self.callback = callback
+        self.samples = 0
+        self._running = True
+        queue.schedule(epoch, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.callback(self.queue.now)
+        self.samples += 1
+        self.queue.schedule(self.epoch, self._fire)
+
+    def stop(self) -> None:
+        """Stop after the current epoch; pending fires become no-ops."""
+        self._running = False

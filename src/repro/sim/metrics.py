@@ -1,0 +1,169 @@
+"""Per-component metric taxonomy on top of :class:`~repro.sim.stats.StatRegistry`.
+
+The stat registry tallies traffic by ``(side, category)`` - enough for the
+paper's aggregate figures, but not for attributing security overhead to the
+structure that caused it. This module defines the hierarchical metric
+namespace the observability layer exports (documented exhaustively in
+``docs/METRICS.md``):
+
+* ``gpu.channel<i>.*`` - per-device-channel bytes/ops per traffic category
+  and busy cycles;
+* ``cxl.rx.*`` / ``cxl.tx.*`` - per-link-direction equivalents;
+* ``gpu.aes<i>.sectors`` / ``gpu.macengine<i>.sectors`` - crypto pipeline load;
+* ``gpu.l2.slice<i>.*`` - L2 hits/misses/MSHR merges;
+* ``meta.device<i>.{counter,mac,bmt}.*`` and ``meta.cxl.{counter,mac,bmt}.*``
+  - metadata-cache hits/misses;
+* ``gpu.mapping.gpc<i>.*`` - mapping-cache hits/misses;
+* ``migration.*`` - fills, evictions, writeback-buffer stall cycles;
+* ``sim.*`` - instructions and final cycle.
+
+:func:`collect_metrics` harvests the flat ``{dotted_name: number}`` tree
+from a live simulator at end of run; it is stored on
+:class:`~repro.gpu.gpusim.RunResult` and serialized with it, so cached runs
+still carry full per-component attribution. :func:`derived_metrics` computes
+the report-time ratios (security-traffic share, cache hit rates, IPC) from a
+metric tree plus the registry - derivations are never stored, only raw
+tallies are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from .stats import Side, StatRegistry
+
+Number = Union[int, float]
+MetricTree = Dict[str, Number]
+
+
+def _channel_metrics(tree: MetricTree, prefix: str, channel) -> None:
+    tree[f"{prefix}.busy_cycles"] = channel.busy_cycles
+    security = 0
+    for category, (nbytes, ops) in sorted(
+        channel.category_tallies.items(), key=lambda kv: kv[0].value
+    ):
+        tree[f"{prefix}.{category.value}_bytes"] = nbytes
+        tree[f"{prefix}.{category.value}_ops"] = ops
+        if category.is_security:
+            security += nbytes
+    tree[f"{prefix}.security_bytes"] = security
+
+
+def collect_metrics(sim) -> MetricTree:
+    """Harvest the full metric tree from a finished :class:`GpuSim`.
+
+    Flat ``{dotted_name: int|float}`` mapping; hierarchy is encoded in the
+    names so the tree serializes as plain JSON and diffs line-by-line.
+    """
+    tree: MetricTree = {}
+    fabric = sim.fabric
+
+    for i, channel in enumerate(fabric.channels):
+        _channel_metrics(tree, f"gpu.channel{i}", channel)
+    _channel_metrics(tree, "cxl.rx", fabric.link.to_device)
+    _channel_metrics(tree, "cxl.tx", fabric.link.to_cxl)
+
+    for i, engine in enumerate(fabric.aes_engines):
+        tree[f"gpu.aes{i}.sectors"] = engine.sectors_processed
+    for i, engine in enumerate(fabric.mac_engines):
+        tree[f"gpu.macengine{i}.sectors"] = engine.sectors_processed
+
+    for i, slice_ in enumerate(sim.l2):
+        tree[f"gpu.l2.slice{i}.hits"] = slice_.cache.hits
+        tree[f"gpu.l2.slice{i}.misses"] = slice_.cache.misses
+        tree[f"gpu.l2.slice{i}.mshr_merges"] = slice_.mshr_merges
+
+    for i, caches in enumerate(fabric.device_meta):
+        tree.update(caches.as_metrics(f"meta.device{i}"))
+    tree.update(fabric.cxl_meta.as_metrics("meta.cxl"))
+
+    for i, cache in enumerate(sim.miss_handler.caches):
+        tree[f"gpu.mapping.gpc{i}.hits"] = cache.hits
+        tree[f"gpu.mapping.gpc{i}.misses"] = cache.misses
+
+    tree["migration.fills"] = sim.engine.fill_count
+    tree["migration.evictions"] = sim.engine.evict_count
+    tree["migration.evict_stall_cycles"] = sim.engine.evict_stall_cycles
+
+    tree["sim.instructions"] = sim.stats.instructions
+    tree["sim.final_cycle"] = sim.stats.final_cycle
+    return tree
+
+
+def subtree(tree: Mapping[str, Number], prefix: str) -> MetricTree:
+    """All metrics under ``prefix.`` (names keep their full dotted form)."""
+    dotted = prefix if prefix.endswith(".") else prefix + "."
+    return {k: v for k, v in tree.items() if k.startswith(dotted)}
+
+
+def _rate(hits: Number, misses: Number) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _sum(tree: Mapping[str, Number], suffix: str) -> Number:
+    return sum(v for k, v in tree.items() if k.endswith(suffix))
+
+
+def derived_metrics(tree: Mapping[str, Number], stats: StatRegistry) -> Dict[str, float]:
+    """Report-time ratios derived from a metric tree + its registry.
+
+    Never serialized: always recomputed from the raw tallies, so a report
+    rendered from a cached result and one rendered from a fresh run agree
+    by construction.
+    """
+    out: Dict[str, float] = {}
+    out["derived.ipc"] = stats.ipc
+    total = stats.total_bytes()
+    out["derived.security_share.total"] = (
+        stats.security_bytes() / total if total else 0.0
+    )
+    for side in ("device", "cxl"):
+        s = Side(side)
+        side_total = stats.total_bytes(side=s)
+        out[f"derived.security_share.{side}"] = (
+            stats.security_bytes(side=s) / side_total if side_total else 0.0
+        )
+
+    for kind in ("counter", "mac", "bmt"):
+        device = subtree(tree, "meta")
+        dev_hits = sum(
+            v for k, v in device.items()
+            if k.startswith("meta.device") and k.endswith(f".{kind}.hits")
+        )
+        dev_misses = sum(
+            v for k, v in device.items()
+            if k.startswith("meta.device") and k.endswith(f".{kind}.misses")
+        )
+        out[f"derived.{kind}_cache_hit_rate.device"] = _rate(dev_hits, dev_misses)
+        out[f"derived.{kind}_cache_hit_rate.cxl"] = _rate(
+            tree.get(f"meta.cxl.{kind}.hits", 0), tree.get(f"meta.cxl.{kind}.misses", 0)
+        )
+
+    l2 = subtree(tree, "gpu.l2")
+    out["derived.l2_hit_rate"] = _rate(_sum(l2, ".hits"), _sum(l2, ".misses"))
+    mapping = subtree(tree, "gpu.mapping")
+    out["derived.mapping_hit_rate"] = _rate(_sum(mapping, ".hits"), _sum(mapping, ".misses"))
+    return out
+
+
+def channel_security_shares(tree: Mapping[str, Number]) -> Dict[str, float]:
+    """Per-component security-byte share of each channel/link direction.
+
+    ``{component: security_bytes / component_total_bytes}`` for every
+    ``gpu.channel<i>``, ``cxl.rx`` and ``cxl.tx`` in the tree - the
+    "where did the security traffic go" view of ``repro report``.
+    """
+    shares: Dict[str, float] = {}
+    components = sorted(
+        {k.rsplit(".security_bytes", 1)[0] for k in tree if k.endswith(".security_bytes")}
+    )
+    for component in components:
+        total = sum(
+            v for k, v in tree.items()
+            if k.startswith(component + ".") and k.endswith("_bytes")
+            and not k.endswith("security_bytes")
+        )
+        security = tree.get(f"{component}.security_bytes", 0)
+        shares[component] = security / total if total else 0.0
+    return shares

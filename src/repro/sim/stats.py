@@ -139,7 +139,14 @@ class StatRegistry:
 
     # -- (de)serialization ---------------------------------------------------
     def to_dict(self) -> Dict:
-        """JSON-safe dump of every tally (inverse of :meth:`from_dict`)."""
+        """JSON-safe dump of every tally (inverse of :meth:`from_dict`).
+
+        Contract: only raw tallies are dumped - derived quantities (IPC,
+        shares, hit rates) are recomputed from them at read time, never
+        stored. This dict nests inside ``RunResult.to_dict`` and thus
+        inside result-cache entries; a shape change here must bump
+        ``repro.harness.engine.SCHEMA_VERSION``.
+        """
         return {
             "traffic_bytes": self.breakdown(),
             "counters": dict(self.counters),

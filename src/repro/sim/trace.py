@@ -1,0 +1,243 @@
+"""Structured event tracing for the timing simulator.
+
+The simulator's end-of-run aggregates (:mod:`repro.sim.stats`) answer *how
+much* traffic each category produced; they cannot answer *where in time* a
+run's cycles or link bandwidth went. This module adds the missing timeline
+view: a low-overhead, ring-buffered tracer that the hot paths (channels,
+crypto engines, L2, metadata caches, the migration engine, the security
+models) feed with tagged span/instant/counter events, exported as a
+Chrome-trace ``trace.json`` that Perfetto or ``chrome://tracing`` can open
+(see ``docs/TRACING.md`` for a worked example).
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.** Every instrumentation site guards with
+   ``if tracer.enabled:`` - a single attribute load on the shared
+   :data:`NULL_TRACER` singleton - and records nothing. Tracing never
+   changes simulated timing either way: the tracer only observes bookings,
+   it never books anything itself.
+2. **Bounded memory.** Events land in a fixed-capacity ring; once full, the
+   oldest events are overwritten deterministically (``dropped`` says how
+   many). A trace of a long run is the *tail* of the run.
+3. **Deterministic bytes.** Event order is insertion order, thread ids are
+   assigned by sorted component name at export time, and the JSON encoder
+   uses sorted keys and fixed separators, so the same simulation always
+   produces a byte-identical ``trace.json`` - the golden-file test relies
+   on this.
+
+Timestamps are **simulated cycles**, written into the Chrome ``ts``/``dur``
+microsecond fields verbatim (1 cycle renders as 1 us; only relative scale
+matters for a simulator timeline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Default ring capacity (events). At roughly five events per simulated
+#: memory access this holds the tail ~40k accesses of a run.
+DEFAULT_CAPACITY = 200_000
+
+#: Default sampling epoch (cycles) for periodic counter snapshots.
+DEFAULT_SAMPLE_EPOCH = 2_000
+
+# Internal event tuple layout: (phase, component, name, category, ts, dur, args)
+_PH_SPAN = "X"
+_PH_BEGIN = "B"
+_PH_END = "E"
+_PH_INSTANT = "i"
+_PH_COUNTER = "C"
+
+
+class Tracer:
+    """Ring-buffered structured event recorder.
+
+    One instance traces one simulation. Components record through the
+    typed helpers (:meth:`span`, :meth:`instant`, :meth:`counter`,
+    :meth:`begin`/:meth:`end`); :meth:`to_chrome` / :meth:`write` export
+    the Chrome-trace JSON object.
+    """
+
+    __slots__ = ("enabled", "capacity", "sample_epoch", "_ring", "_total", "_stacks")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+        sample_epoch: int = DEFAULT_SAMPLE_EPOCH,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.enabled = enabled and capacity > 0
+        self.capacity = capacity
+        self.sample_epoch = max(1, int(sample_epoch))
+        self._ring: List[Optional[tuple]] = [None] * capacity if capacity else []
+        self._total = 0
+        # Per-component stack of open begin() spans, for nesting bookkeeping.
+        self._stacks: Dict[str, List[str]] = {}
+
+    # -- recording ----------------------------------------------------------
+    def _record(self, event: tuple) -> None:
+        if not self.enabled:
+            return
+        self._ring[self._total % self.capacity] = event
+        self._total += 1
+
+    def span(
+        self,
+        component: str,
+        name: str,
+        ts: int,
+        dur: int,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A complete span: ``component`` did ``name`` from ``ts`` for ``dur``."""
+        self._record((_PH_SPAN, component, name, cat, ts, max(0, dur), args))
+
+    def begin(
+        self,
+        component: str,
+        name: str,
+        ts: int,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Open a nested span on ``component`` (close with :meth:`end`)."""
+        if not self.enabled:
+            return
+        self._stacks.setdefault(component, []).append(name)
+        self._record((_PH_BEGIN, component, name, cat, ts, 0, args))
+
+    def end(self, component: str, ts: int) -> None:
+        """Close the innermost open span on ``component``."""
+        if not self.enabled:
+            return
+        stack = self._stacks.get(component)
+        if not stack:
+            # Unbalanced end: record nothing rather than corrupt pairing.
+            return
+        name = stack.pop()
+        self._record((_PH_END, component, name, "", ts, 0, None))
+
+    def instant(
+        self,
+        component: str,
+        name: str,
+        ts: int,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A point-in-time marker (cache miss, overflow, stall...)."""
+        self._record((_PH_INSTANT, component, name, cat, ts, 0, args))
+
+    def counter(self, name: str, ts: int, values: Dict[str, Union[int, float]]) -> None:
+        """A sampled counter series (rendered as stacked area tracks)."""
+        self._record((_PH_COUNTER, "", name, "", ts, 0, dict(values)))
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return min(self._total, self.capacity)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including those the ring has evicted."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring eviction (oldest-first, deterministic)."""
+        return max(0, self._total - self.capacity)
+
+    def open_span_depth(self, component: str) -> int:
+        """Open (begun, not ended) span count on ``component``."""
+        return len(self._stacks.get(component, ()))
+
+    def events(self) -> List[tuple]:
+        """Retained events in recording order (oldest first)."""
+        if self._total <= self.capacity:
+            return [e for e in self._ring[: self._total]]
+        head = self._total % self.capacity
+        return [e for e in self._ring[head:] + self._ring[:head]]
+
+    # -- export -------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """Chrome-trace (JSON object format) view of the retained events.
+
+        Components become threads of a single ``salus-sim`` process; thread
+        ids are assigned by sorted component name, so the export is stable
+        across runs of the same simulation.
+        """
+        events = self.events()
+        components = sorted({e[1] for e in events if e[1]})
+        tids = {name: i + 1 for i, name in enumerate(components)}
+
+        out: List[dict] = [
+            {
+                "args": {"name": "salus-sim"},
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+            }
+        ]
+        for name in components:
+            out.append(
+                {
+                    "args": {"name": name},
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tids[name],
+                }
+            )
+        for ph, component, name, cat, ts, dur, args in events:
+            record: Dict[str, object] = {
+                "name": name,
+                "ph": ph,
+                "pid": 1,
+                "tid": tids.get(component, 0),
+                "ts": ts,
+            }
+            if cat:
+                record["cat"] = cat
+            if ph == _PH_SPAN:
+                record["dur"] = dur
+            if ph == _PH_INSTANT:
+                record["s"] = "t"
+            if args:
+                record["args"] = args
+            out.append(record)
+        return {
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "dropped_events": self.dropped,
+                "total_events": self._total,
+            },
+            "traceEvents": out,
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialize :meth:`to_chrome` to ``path`` with deterministic bytes."""
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_chrome(), sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        return path
+
+
+#: Process-wide disabled tracer; share it, never mutate it. Instrumentation
+#: sites hold a reference to this when no tracer was requested, so the
+#: hot-path guard is a single ``.enabled`` attribute load and no event is
+#: ever allocated.
+NULL_TRACER = Tracer(capacity=0, enabled=False)
+
+
+def resolve_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """``tracer`` if given, else the shared :data:`NULL_TRACER`."""
+    return tracer if tracer is not None else NULL_TRACER
