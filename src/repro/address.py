@@ -24,7 +24,7 @@ This module provides the pure arithmetic for both; it has no simulator state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .errors import AddressError
 
@@ -57,6 +57,17 @@ class Geometry:
     block_bytes: int = BLOCK_BYTES
     sector_bytes: int = SECTOR_BYTES
 
+    # Derived ratios, precomputed once in __post_init__ so the simulator's
+    # per-request walk pays a plain attribute load instead of a property
+    # call plus division. They are not dataclass fields: equality, hashing
+    # and asdict still consider only the four byte sizes above.
+    sectors_per_block: int = field(init=False, repr=False, compare=False, default=0)
+    sectors_per_chunk: int = field(init=False, repr=False, compare=False, default=0)
+    sectors_per_page: int = field(init=False, repr=False, compare=False, default=0)
+    blocks_per_chunk: int = field(init=False, repr=False, compare=False, default=0)
+    blocks_per_page: int = field(init=False, repr=False, compare=False, default=0)
+    chunks_per_page: int = field(init=False, repr=False, compare=False, default=0)
+
     def __post_init__(self) -> None:
         ordered = (self.sector_bytes, self.block_bytes, self.chunk_bytes, self.page_bytes)
         names = ("sector_bytes", "block_bytes", "chunk_bytes", "page_bytes")
@@ -68,37 +79,13 @@ class Geometry:
                 "granularities must nest: sector <= block <= chunk <= page, got "
                 f"{ordered}"
             )
-
-    # -- derived ratios ----------------------------------------------------
-    @property
-    def sectors_per_block(self) -> int:
-        """Sectors in one cache block (4)."""
-        return self.block_bytes // self.sector_bytes
-
-    @property
-    def sectors_per_chunk(self) -> int:
-        """Sectors in one interleaving chunk (8)."""
-        return self.chunk_bytes // self.sector_bytes
-
-    @property
-    def sectors_per_page(self) -> int:
-        """Sectors in one migration page (128 by default)."""
-        return self.page_bytes // self.sector_bytes
-
-    @property
-    def blocks_per_chunk(self) -> int:
-        """Cache blocks in one interleaving chunk (2)."""
-        return self.chunk_bytes // self.block_bytes
-
-    @property
-    def blocks_per_page(self) -> int:
-        """Cache blocks in one page (32 by default)."""
-        return self.page_bytes // self.block_bytes
-
-    @property
-    def chunks_per_page(self) -> int:
-        """Interleaving chunks in one page (16 by default)."""
-        return self.page_bytes // self.chunk_bytes
+        fill = object.__setattr__
+        fill(self, "sectors_per_block", self.block_bytes // self.sector_bytes)
+        fill(self, "sectors_per_chunk", self.chunk_bytes // self.sector_bytes)
+        fill(self, "sectors_per_page", self.page_bytes // self.sector_bytes)
+        fill(self, "blocks_per_chunk", self.chunk_bytes // self.block_bytes)
+        fill(self, "blocks_per_page", self.page_bytes // self.block_bytes)
+        fill(self, "chunks_per_page", self.page_bytes // self.chunk_bytes)
 
     # -- index extraction --------------------------------------------------
     def page_of(self, addr: int) -> int:

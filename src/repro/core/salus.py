@@ -155,34 +155,26 @@ class SalusSecurityModel(TimingSecurityModel):
             pass  # conventional device counters are installed at fill time
 
         # Counter leg through the device counter cache + local Merkle tree.
-        ctr_rd = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.COUNTER, priority=True
-        )
-        ctr_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        fns = self.chfns[ch]
         ctr_unit = self.groups.counter_sector_unit(loc.local_sector)
         ctr_ready, ctr_hit = fabric.metadata_access(
-            now, caches.counter, ctr_unit, ctr_rd, ctr_wr, TrafficCategory.COUNTER
+            now, caches.counter, ctr_unit, fns.ctr_rd_prio, fns.ctr_wr,
+            TrafficCategory.COUNTER,
         )
         if not ctr_hit:
-            bmt_rd = lambda t, n: fabric.device_read(
-                t, ch, n, TrafficCategory.BMT, priority=True
-            )
-            bmt_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
             ctr_ready = max(
                 ctr_ready,
                 fabric.bmt_read_walk(
-                    now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd, bmt_wr
+                    now, caches.bmt, self._dev_bmt, ctr_unit,
+                    fns.bmt_rd_prio, fns.bmt_wr,
                 ),
             )
         otp_ready = fabric.aes_engines[ch].book(max(ctr_ready, meta_ready))
 
         # MAC leg through the device MAC cache.
-        mac_rd = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.MAC, priority=True
-        )
-        mac_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
         mac_ready, _ = fabric.metadata_access(
-            now, caches.mac, loc.local_block, mac_rd, mac_wr, TrafficCategory.MAC
+            now, caches.mac, loc.local_block, fns.mac_rd_prio, fns.mac_wr,
+            TrafficCategory.MAC,
         )
         mac_ready = max(mac_ready, meta_ready)
 
@@ -235,24 +227,20 @@ class SalusSecurityModel(TimingSecurityModel):
                 )
 
         # Epoch freshness: the CXL counter sector and its Merkle path.
-        link_rd = lambda t, n: fabric.link_read(
-            t, n, TrafficCategory.COUNTER, critical=critical, priority=critical
-        )
-        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        link = self.linkfns
+        link_rd = link.ctr_rd_prio if critical else link.ctr_rd_post
         unit = self._cxl_counter_unit(page, chunk_in_page)
         ctr_ready, ctr_hit = fabric.metadata_access(
-            now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+            now, fabric.cxl_meta.counter, unit, link_rd, link.ctr_wr,
             TrafficCategory.COUNTER,
         )
         if not ctr_hit:
-            bmt_rd = lambda t, n: fabric.link_read(
-                t, n, TrafficCategory.BMT, critical=critical, priority=critical
-            )
-            bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+            bmt_rd = link.bmt_rd_prio if critical else link.bmt_rd_post
             ctr_ready = max(
                 ctr_ready,
                 fabric.bmt_read_walk(
-                    now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd, bmt_wr
+                    now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                    bmt_rd, link.bmt_wr,
                 ),
             )
 
@@ -265,30 +253,19 @@ class SalusSecurityModel(TimingSecurityModel):
             self._install_conventional(now, channel, local_chunk, epoch)
         local_base = local_chunk * geom.sectors_per_chunk
         ctr_unit = self.groups.counter_sector_unit(local_base)
-        dev_rd = lambda t, n: fabric.device_read(
-            t, channel, n, TrafficCategory.COUNTER, critical=False
-        )
-        dev_wr = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.COUNTER)
+        fns = self.chfns[channel]
         fabric.metadata_access(
-            now, caches.counter, ctr_unit, dev_rd, dev_wr,
+            now, caches.counter, ctr_unit, fns.ctr_rd_post, fns.ctr_wr,
             TrafficCategory.COUNTER, write=True, tag_payload=page,
         )
-        mac_dev_rd = lambda t, n: fabric.device_read(
-            t, channel, n, TrafficCategory.MAC, critical=False
-        )
-        mac_dev_wr = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.MAC)
         for block in range(geom.blocks_per_chunk):
             fabric.metadata_access(
                 now, caches.mac, local_base // geom.sectors_per_block + block,
-                mac_dev_rd, mac_dev_wr, TrafficCategory.MAC, write=True,
+                fns.mac_rd_post, fns.mac_wr, TrafficCategory.MAC, write=True,
                 tag_payload=page,
             )
-        bmt_rd2 = lambda t, n: fabric.device_read(
-            t, channel, n, TrafficCategory.BMT, critical=False
-        )
-        bmt_wr2 = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.BMT)
         fabric.bmt_update_walk(
-            now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd2, bmt_wr2
+            now, caches.bmt, self._dev_bmt, ctr_unit, fns.bmt_rd_post, fns.bmt_wr
         )
         if tracer.enabled:
             tracer.end("salus", max(mac_ready, ctr_ready))
@@ -369,31 +346,20 @@ class SalusSecurityModel(TimingSecurityModel):
                 fabric.aes_engines[ch].book(done, len(result.reencrypt_units))
                 fabric.device_write(done, ch, nbytes, TrafficCategory.REENC_DATA)
 
-        ctr_rd = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.COUNTER, critical=False
-        )
-        ctr_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        fns = self.chfns[ch]
         ctr_unit = self.groups.counter_sector_unit(loc.local_sector)
         fabric.metadata_access(
-            now, caches.counter, ctr_unit, ctr_rd, ctr_wr,
+            now, caches.counter, ctr_unit, fns.ctr_rd_post, fns.ctr_wr,
             TrafficCategory.COUNTER, write=True,
         )
         fabric.aes_engines[ch].book(now)
-        mac_rd = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.MAC, critical=False
-        )
-        mac_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
         fabric.metadata_access(
-            now, caches.mac, loc.local_block, mac_rd, mac_wr,
+            now, caches.mac, loc.local_block, fns.mac_rd_post, fns.mac_wr,
             TrafficCategory.MAC, write=True,
         )
         fabric.mac_engines[ch].book(now)
-        bmt_rd = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.BMT, critical=False
-        )
-        bmt_wr = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
         fabric.bmt_update_walk(
-            now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd, bmt_wr
+            now, caches.bmt, self._dev_bmt, ctr_unit, fns.bmt_rd_post, fns.bmt_wr
         )
 
     def _reencrypt_chunk(self, now: int, channel: int, loc: SectorLoc) -> None:
@@ -429,10 +395,9 @@ class SalusSecurityModel(TimingSecurityModel):
         # time, exactly like the demand-time fetch but all at once.
         ready = install_done
         for chunk in range(geom.chunks_per_page):
-            ready = max(
-                ready,
-                self._fetch_chunk_metadata(now, page, frame, chunk, critical=True),
-            )
+            fetched = self._fetch_chunk_metadata(now, page, frame, chunk, critical=True)
+            if fetched > ready:
+                ready = fetched
         return ready
 
     def fill_chunk(self, now: int, page: int, frame: int, chunk_in_page: int) -> int:
@@ -532,19 +497,15 @@ class SalusSecurityModel(TimingSecurityModel):
             _ = local_chunk
 
         # CXL counter sectors + Merkle updates, once per touched unit.
-        link_rd = lambda t, n: fabric.link_read(
-            t, n, TrafficCategory.COUNTER, critical=False
-        )
-        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
-        bmt_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT, critical=False)
-        bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+        link = self.linkfns
         for unit in sorted(touched_ctr_units):
             fabric.metadata_access(
-                now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+                now, fabric.cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
                 TrafficCategory.COUNTER, write=True,
             )
             fabric.bmt_update_walk(
-                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd, bmt_wr
+                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                link.bmt_rd_post, link.bmt_wr,
             )
 
         # Device-side bookkeeping: drop counter groups and count avoided

@@ -122,6 +122,23 @@ class RunResult:
             return 0.0
         return fabric_busy / self.cycles
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the complete observable result.
+
+        Two simulations whose fingerprints match produced bit-identical
+        observable behaviour: every traffic tally, event counter, metric
+        leaf and timing total agrees. The perf harness
+        (``scripts/bench_perf.py``) gates on this - an optimization is only
+        accepted when fingerprints are unchanged - and it is the same
+        determinism contract the golden-trace test and the result cache
+        rely on.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 class GpuSim:
     """Trace-driven simulation of one system configuration."""
@@ -188,6 +205,13 @@ class GpuSim:
         self._chunk_mode = gpu.fill_granularity == "chunk"
         self._present_chunks: Dict[int, int] = {}
         self._inflight_chunks: Dict[Tuple[int, int], int] = {}
+        # Hot-path scalars, hoisted so the per-request walk does plain integer
+        # arithmetic instead of geometry/config attribute chains.
+        self._page_bytes = self.geometry.page_bytes
+        self._block_bytes = self.geometry.block_bytes
+        self._sector_bytes = self.geometry.sector_bytes
+        self._l2_latency = gpu.l2_latency_cycles
+        self._map_channels = gpu.num_channels
 
     # ------------------------------------------------------------------ sampling
     def _sample_metrics(self, now: int) -> None:
@@ -281,7 +305,7 @@ class GpuSim:
             return frame, max(now + MAPPING_HIT_CYCLES, fill_ready)
         # Miss: the control logic reads the mapping sector from device memory
         # and, if the page is absent, starts the copy (Section IV-B).
-        map_channel = (page // 4) % self.config.gpu.num_channels
+        map_channel = (page // 4) % self._map_channels
         map_ready = self.fabric.device_read(
             now, map_channel, MAPPING_SECTOR_BYTES, TrafficCategory.MAPPING,
             priority=True,
@@ -314,17 +338,17 @@ class GpuSim:
             self.model.writeback(now, loc)
 
     def _access_memory(self, now: int, req: MemoryRequest, frame: int) -> int:
-        geom = self.geometry
-        loc = self.fabric.locate(req.cxl_addr, frame)
+        addr = req.cxl_addr
+        loc = self.fabric.locate(addr, frame)
         if self._chunk_mode:
             # Writes also wait for the chunk (read-for-ownership: untouched
             # sectors of a dirty chunk must hold valid ciphertext so the
             # whole chunk can be written back later).
             now = max(now, self._ensure_chunk(now, loc))
         slice_ = self.l2[loc.channel]
-        block_in_page = (req.cxl_addr % geom.page_bytes) // geom.block_bytes
+        block_in_page = (addr % self._page_bytes) // self._block_bytes
         line_addr = (loc.page, block_in_page)
-        sector_in_block = geom.sector_in_block(req.cxl_addr)
+        sector_in_block = (addr % self._block_bytes) // self._sector_bytes
 
         if req.is_write:
             self.model.on_store(now, loc)
@@ -332,17 +356,17 @@ class GpuSim:
             self._handle_l2_evictions(now, result.evicted)
             # Stores retire through the store buffer; the warp does not wait
             # for memory. Dirty data pays its security toll at writeback.
-            return now + self.config.gpu.l2_latency_cycles
+            return now + self._l2_latency
 
         result = slice_.access(line_addr, sector_in_block, write=False)
         self._handle_l2_evictions(now, result.evicted)
         if result.sector_hit:
-            return now + self.config.gpu.l2_latency_cycles
+            return now + self._l2_latency
         merged = slice_.inflight_completion(now, line_addr, sector_in_block)
         if merged is not None:
-            return max(now + self.config.gpu.l2_latency_cycles, merged)
+            return max(now + self._l2_latency, merged)
         data_ready = self.fabric.device_read(
-            now, loc.channel, geom.sector_bytes, TrafficCategory.DATA,
+            now, loc.channel, self._sector_bytes, TrafficCategory.DATA,
             priority=True,
         )
         completion = self.model.read_complete(now, loc, data_ready)
@@ -360,6 +384,14 @@ class GpuSim:
         gpu = self.config.gpu
         block_instructions = 1 + max(0, compute_per_mem)
         footprint_bytes = self.fabric.footprint_pages * self.geometry.page_bytes
+        # Loop-invariant locals: attribute loads inside this loop are paid
+        # once per trace request, which dominates small-config runs.
+        sms = self.sms
+        num_sms = gpu.num_sms
+        sms_per_gpc = gpu.sms_per_gpc
+        page_bytes = self._page_bytes
+        sample_queue = self._sample_queue
+        tracing = self.tracer.enabled
 
         for req in requests:
             if not 0 <= req.cxl_addr < footprint_bytes:
@@ -367,20 +399,21 @@ class GpuSim:
                     f"trace address {req.cxl_addr:#x} outside footprint "
                     f"of {footprint_bytes} bytes"
                 )
-            sm = self.sms[req.sm % gpu.num_sms]
-            gpc = sm.sm_id // gpu.sms_per_gpc
+            sm = sms[req.sm % num_sms]
+            gpc = sm.sm_id // sms_per_gpc
             warp = sm.pick_warp(req.warp)
             t_issue = sm.issue(warp, block_instructions)
-            self._now = max(self._now, t_issue)
-            if self._sample_queue is not None and self._now > self._sample_queue.now:
-                self._sample_queue.run(until=self._now)
+            if t_issue > self._now:
+                self._now = t_issue
+            if sample_queue is not None and self._now > sample_queue.now:
+                sample_queue.run(until=self._now)
 
-            page = self.geometry.page_of(req.cxl_addr)
+            page = req.cxl_addr // page_bytes
             frame, ready = self._translate(t_issue, gpc, page)
             t_mem = self.interconnect.traverse(ready, gpc)
             completion = self._access_memory(t_mem, req, frame)
             sm.complete(warp, completion)
-            if self.tracer.enabled:
+            if tracing:
                 self.tracer.span(
                     f"sm{sm.sm_id}", "write" if req.is_write else "read",
                     t_issue, completion - t_issue, cat="request",

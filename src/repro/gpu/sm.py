@@ -46,14 +46,17 @@ class StreamingMultiprocessor:
         """
         if block_instructions <= 0:
             raise ConfigError("block_instructions must be positive")
-        t_issue = max(self.clock, self.warp_ready[warp])
+        clock = self.clock
+        warp_free = self.warp_ready[warp]
+        t_issue = clock if clock >= warp_free else warp_free
         self.clock = t_issue + block_instructions
         self.instructions += block_instructions
         return t_issue
 
     def complete(self, warp: int, cycle: int) -> None:
         """The warp's outstanding memory access finished at ``cycle``."""
-        self.warp_ready[warp] = max(self.warp_ready[warp], cycle)
+        if cycle > self.warp_ready[warp]:
+            self.warp_ready[warp] = cycle
 
     @property
     def drain_cycle(self) -> int:

@@ -53,19 +53,61 @@ class _ServiceTimeline:
         """Insert a job of ``busy`` service cycles arriving at ``now``.
 
         Returns the cycle its service slot ends (no latency applied).
+
+        Jobs sharing a timestamp are *merged* into one entry instead of
+        inserted side by side: two jobs at the same ``t`` serve back to back
+        (``max(max(F, t) + b1, t) + b2 == max(F, t) + b1 + b2`` since service
+        times are positive), so one entry with the summed busy time yields
+        bit-identical completions and frontiers. Migration fills book dozens
+        of legs at one timestamp, and the merge turns those from O(n) list
+        insertions into in-place updates.
         """
-        idx = bisect_right(self._times, now)
-        frontier = self._frontier[idx - 1] if idx else 0
-        self._times.insert(idx, now)
-        self._busys.insert(idx, busy)
-        self._frontier.insert(idx, 0)
-        completion = max(frontier, now) + busy
-        self._frontier[idx] = frontier = completion
-        for i in range(idx + 1, len(self._times)):
-            updated = max(frontier, self._times[i]) + self._busys[i]
-            if updated == self._frontier[i]:
+        times = self._times
+        busys = self._busys
+        frontier = self._frontier
+        if not times:
+            completion = now + busy
+            times.append(now)
+            busys.append(busy)
+            frontier.append(completion)
+            return completion
+        last = times[-1]
+        if now > last:
+            # Monotone arrival (the overwhelmingly common case): append-only,
+            # no bisect, no mid-list insertion, no ripple.
+            f = frontier[-1]
+            completion = (f if f > now else now) + busy
+            times.append(now)
+            busys.append(busy)
+            frontier.append(completion)
+            return completion
+        if now == last:
+            busys[-1] += busy
+            completion = frontier[-1] + busy
+            frontier[-1] = completion
+            return completion
+        idx = bisect_right(times, now)
+        if idx and times[idx - 1] == now:
+            busys[idx - 1] += busy
+            completion = frontier[idx - 1] + busy
+            frontier[idx - 1] = f = completion
+            i = idx
+        else:
+            f_prev = frontier[idx - 1] if idx else 0
+            times.insert(idx, now)
+            busys.insert(idx, busy)
+            frontier.insert(idx, 0)
+            completion = (f_prev if f_prev > now else now) + busy
+            frontier[idx] = f = completion
+            i = idx + 1
+        n = len(times)
+        while i < n:
+            t_i = times[i]
+            updated = (f if f > t_i else t_i) + busys[i]
+            if updated == frontier[i]:
                 break  # the ripple died out; the rest of the suffix is unchanged
-            self._frontier[i] = frontier = updated
+            frontier[i] = f = updated
+            i += 1
         return completion
 
     def backlog(self, now: int) -> int:
@@ -113,10 +155,19 @@ class Channel:
         # every transfer consumes bandwidth that bulk traffic must wait for.
         self._all_work = _ServiceTimeline()    # every transaction (bulk view)
         self._prio_work = _ServiceTimeline()   # priority transactions only
+        # Transactions come in a handful of sizes (32 B sectors, 64 B nodes,
+        # 256 B chunks, 4 KiB pages); memoize the ceil-division per size.
+        self._svc_cache: Dict[int, int] = {}
+        self._traffic = stats.traffic_bytes
 
     def service_cycles(self, nbytes: int) -> int:
         """Channel occupancy for a transaction of ``nbytes``."""
-        return self.overhead_cycles + max(1, math.ceil(nbytes / self.bytes_per_cycle))
+        busy = self._svc_cache.get(nbytes)
+        if busy is None:
+            busy = self._svc_cache[nbytes] = self.overhead_cycles + max(
+                1, math.ceil(nbytes / self.bytes_per_cycle)
+            )
+        return busy
 
     def queue_delay(self, now: int) -> float:
         """Backlog (cycles of queued work) a bulk request arriving now sees."""
@@ -146,16 +197,48 @@ class Channel:
             raise SimulationError(
                 f"{self.name}: invalid booking now={now} nbytes={nbytes}"
             )
-        busy = self.service_cycles(nbytes)
+        busy = self._svc_cache.get(nbytes)
+        if busy is None:
+            busy = self.service_cycles(nbytes)
         # Every transaction consumes bandwidth the bulk class must wait for;
         # priority transactions additionally get their own (shorter) queue.
-        bulk_completion = self._all_work.book(now, busy)
+        # The timeline's monotone-append fast path is inlined here (this is
+        # the hottest call site in the simulator); non-monotone arrivals fall
+        # back to the full insertion logic in _ServiceTimeline.book.
+        tl = self._all_work
+        times = tl._times
+        if times and now > times[-1]:
+            frontier = tl._frontier[-1]
+            completion = (frontier if frontier > now else now) + busy
+            times.append(now)
+            tl._busys.append(busy)
+            tl._frontier.append(completion)
+            bulk_completion = completion
+        elif times and now == times[-1]:
+            tl._busys[-1] += busy
+            bulk_completion = tl._frontier[-1] + busy
+            tl._frontier[-1] = bulk_completion
+        else:
+            bulk_completion = tl.book(now, busy)
         if priority:
-            completion = self._prio_work.book(now, busy)
+            tl = self._prio_work
+            times = tl._times
+            if times and now > times[-1]:
+                frontier = tl._frontier[-1]
+                completion = (frontier if frontier > now else now) + busy
+                times.append(now)
+                tl._busys.append(busy)
+                tl._frontier.append(completion)
+            elif times and now == times[-1]:
+                tl._busys[-1] += busy
+                completion = tl._frontier[-1] + busy
+                tl._frontier[-1] = completion
+            else:
+                completion = tl.book(now, busy)
         else:
             completion = bulk_completion
         self.busy_cycles += busy
-        self.stats.add_traffic(self.side, category, nbytes)
+        self._traffic[(self.side, category)] += nbytes
         tally = self.category_tallies.get(category)
         if tally is None:
             tally = self.category_tallies[category] = [0, 0]
@@ -213,7 +296,21 @@ class CryptoEngine:
         if sectors <= 0:
             raise SimulationError(f"{self.name}: sectors must be positive")
         busy = sectors * self.interval_cycles
-        slot_end = self._work.book(ready, busy)
+        # Same inlined monotone-append/merge fast path as Channel.book.
+        tl = self._work
+        times = tl._times
+        if times and ready > times[-1]:
+            frontier = tl._frontier[-1]
+            slot_end = (frontier if frontier > ready else ready) + busy
+            times.append(ready)
+            tl._busys.append(busy)
+            tl._frontier.append(slot_end)
+        elif times and ready == times[-1]:
+            tl._busys[-1] += busy
+            slot_end = tl._frontier[-1] + busy
+            tl._frontier[-1] = slot_end
+        else:
+            slot_end = tl.book(ready, busy)
         self.sectors_processed += sectors
         if self.tracer.enabled:
             self.tracer.span(

@@ -18,8 +18,8 @@ verify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from ..address import Geometry
 from ..errors import AddressError
@@ -32,6 +32,13 @@ class Interleaver:
     geometry: Geometry
     num_channels: int
 
+    # The mapping is a pure function of (frame, chunk_in_page); the memo
+    # table turns the hot-path divmod plus tuple allocation into one dict
+    # hit. Keyed by the global chunk id, bounded by frames x chunks_per_page.
+    _loc_cache: Dict[int, Tuple[int, int]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
     def __post_init__(self) -> None:
         if self.num_channels <= 0:
             raise AddressError("num_channels must be positive")
@@ -43,17 +50,19 @@ class Interleaver:
         on channel ``(f * chunks_per_page) % num_channels``, so consecutive
         frames do not all start on channel 0 (avoiding partition camping).
         """
+        cpp = self.geometry.chunks_per_page
         if frame < 0:
             raise AddressError(f"negative frame {frame}")
-        cpp = self.geometry.chunks_per_page
         if not 0 <= chunk_in_page < cpp:
             raise AddressError(
                 f"chunk_in_page={chunk_in_page} outside page of {cpp} chunks"
             )
         global_chunk = frame * cpp + chunk_in_page
-        channel = global_chunk % self.num_channels
-        local_slot = global_chunk // self.num_channels
-        return channel, local_slot
+        loc = self._loc_cache.get(global_chunk)
+        if loc is None:
+            local_slot, channel = divmod(global_chunk, self.num_channels)
+            loc = self._loc_cache[global_chunk] = (channel, local_slot)
+        return loc
 
     def device_sector_location(self, frame: int, sector_in_page: int) -> Tuple[int, int]:
         """Map (frame, sector index) to (channel, local sector slot)."""

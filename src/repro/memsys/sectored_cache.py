@@ -12,11 +12,37 @@ timing is the caller's business.
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple
 
 from ..errors import ConfigError
+
+
+def stable_line_key(line_addr: Hashable) -> int:
+    """Deterministic integer key for a cache line address.
+
+    The builtin ``hash()`` is salted by ``PYTHONHASHSEED`` for ``str`` and
+    ``bytes`` values, which would silently break cross-process determinism
+    (golden traces, the result cache, the perf-harness fingerprint gate) the
+    moment a non-int line address is used. This function is an explicit,
+    seed-independent replacement: ints map to themselves (matching
+    ``hash(int)`` for the magnitudes a simulation produces), str/bytes go
+    through CRC-32, and tuples fold their elements recursively (tuples of
+    ints already hash deterministically, so existing ``(page, block)`` keys
+    keep their historical set mapping).
+    """
+    kind = type(line_addr)
+    if kind is int:
+        return line_addr
+    if kind is str:
+        return zlib.crc32(line_addr.encode("utf-8"))
+    if kind is bytes:
+        return zlib.crc32(line_addr)
+    if kind is tuple:
+        return hash(tuple(stable_line_key(element) for element in line_addr))
+    return hash(line_addr)
 
 
 @dataclass
@@ -40,11 +66,21 @@ class AccessResult:
     evicted: Optional[EvictedLine] = None
 
 
-@dataclass
+# The three evict-free outcomes are by far the most common, and callers only
+# ever read an AccessResult, so `access` hands out shared instances instead
+# of allocating ~one object per simulated memory access.
+_HIT = AccessResult(sector_hit=True, line_hit=True)
+_SECTOR_MISS = AccessResult(sector_hit=False, line_hit=True)
+_LINE_MISS = AccessResult(sector_hit=False, line_hit=False)
+
+
 class _Line:
-    valid_mask: int = 0
-    dirty_mask: int = 0
-    tag_payload: object = None  # opaque per-line annotation (e.g. CXL tag)
+    __slots__ = ("valid_mask", "dirty_mask", "tag_payload")
+
+    def __init__(self, tag_payload: object = None) -> None:
+        self.valid_mask = 0
+        self.dirty_mask = 0
+        self.tag_payload = tag_payload  # opaque per-line annotation (e.g. CXL tag)
 
 
 class SectoredCache:
@@ -76,10 +112,27 @@ class SectoredCache:
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
+        # line_addr -> resolved set, so repeat accesses skip the Python-level
+        # stable_line_key computation. The *stored* mapping is computed from
+        # stable_line_key, so it stays seed-independent; the lookup dict's
+        # internal bucket order (which may use salted hashes for str keys)
+        # is never observable. Bounded by the distinct line addresses of a
+        # run's footprint.
+        self._set_lookup: dict = {}
+        # dirty_mask -> tuple of sector indices, for the common small lines.
+        self._mask_table: Optional[List[Tuple[int, ...]]] = None
+        if self.sectors_per_line <= 8:
+            self._mask_table = [
+                _mask_to_sectors_slow(mask) for mask in range(1 << self.sectors_per_line)
+            ]
 
     # -- helpers ---------------------------------------------------------------
     def _set_for(self, line_addr: Hashable) -> OrderedDict:
-        return self._sets[hash(line_addr) % self.num_sets]
+        cache_set = self._set_lookup.get(line_addr)
+        if cache_set is None:
+            cache_set = self._sets[stable_line_key(line_addr) % self.num_sets]
+            self._set_lookup[line_addr] = cache_set
+        return cache_set
 
     def _check_sector(self, sector: int) -> None:
         if not 0 <= sector < self.sectors_per_line:
@@ -102,33 +155,41 @@ class SectoredCache:
         line (Salus stores the owning CXL page there); it is set on
         allocation and left untouched on hits.
         """
-        self._check_sector(sector)
-        cache_set = self._set_for(line_addr)
+        if sector >= self.sectors_per_line or sector < 0:
+            self._check_sector(sector)
+        cache_set = self._set_lookup.get(line_addr)
+        if cache_set is None:
+            cache_set = self._set_for(line_addr)
         line = cache_set.get(line_addr)
-        evicted = None
-        if line is None:
-            line_hit = False
-            sector_hit = False
-            if len(cache_set) >= self.ways:
-                victim_addr, victim = cache_set.popitem(last=False)
-                evicted = EvictedLine(
-                    line_addr=victim_addr,
-                    dirty_sectors=self._mask_to_sectors(victim.dirty_mask),
-                )
-            line = _Line(tag_payload=tag_payload)
-            cache_set[line_addr] = line
-        else:
-            line_hit = True
-            sector_hit = bool(line.valid_mask & (1 << sector))
+        bit = 1 << sector
+        if line is not None:
             cache_set.move_to_end(line_addr)
-        line.valid_mask |= 1 << sector
-        if write:
-            line.dirty_mask |= 1 << sector
-        if sector_hit:
-            self.hits += 1
-        else:
+            if line.valid_mask & bit:
+                self.hits += 1
+                if write:
+                    line.dirty_mask |= bit
+                return _HIT
+            line.valid_mask |= bit
+            if write:
+                line.dirty_mask |= bit
             self.misses += 1
-        return AccessResult(sector_hit=sector_hit, line_hit=line_hit, evicted=evicted)
+            return _SECTOR_MISS
+        evicted = None
+        if len(cache_set) >= self.ways:
+            victim_addr, victim = cache_set.popitem(last=False)
+            evicted = EvictedLine(
+                line_addr=victim_addr,
+                dirty_sectors=self._mask_to_sectors(victim.dirty_mask),
+            )
+        line = _Line(tag_payload=tag_payload)
+        cache_set[line_addr] = line
+        line.valid_mask = bit
+        if write:
+            line.dirty_mask = bit
+        self.misses += 1
+        if evicted is None:
+            return _LINE_MISS
+        return AccessResult(sector_hit=False, line_hit=False, evicted=evicted)
 
     def probe(self, line_addr: Hashable, sector: int) -> bool:
         """Non-destructive sector presence check (no LRU update)."""
@@ -188,13 +249,19 @@ class SectoredCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    @staticmethod
-    def _mask_to_sectors(mask: int) -> Tuple[int, ...]:
-        out = []
-        idx = 0
-        while mask:
-            if mask & 1:
-                out.append(idx)
-            mask >>= 1
-            idx += 1
-        return tuple(out)
+    def _mask_to_sectors(self, mask: int) -> Tuple[int, ...]:
+        table = self._mask_table
+        if table is not None:
+            return table[mask]
+        return _mask_to_sectors_slow(mask)
+
+
+def _mask_to_sectors_slow(mask: int) -> Tuple[int, ...]:
+    out = []
+    idx = 0
+    while mask:
+        if mask & 1:
+            out.append(idx)
+        mask >>= 1
+        idx += 1
+    return tuple(out)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..errors import ConfigError, FreshnessError
@@ -34,25 +34,47 @@ class BMTGeometry:
 
     num_leaves: int
     arity: int = 8
+    #: Number of levels above the leaves (root level index). Derived in
+    #: ``__post_init__`` (excluded from eq/hash/repr), as are the per-level
+    #: node counts and ordinal offsets - the verification walk consults all
+    #: three for every fetched node, so they are computed once.
+    depth: int = field(init=False, repr=False, compare=False, default=0)
+    _nodes_at: Tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+    _ordinal_offsets: Tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+    _path_cache: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.num_leaves <= 0:
             raise ConfigError("num_leaves must be positive")
         if self.arity < 2:
             raise ConfigError("arity must be at least 2")
-
-    @property
-    def depth(self) -> int:
-        """Number of levels above the leaves (root level index)."""
         if self.num_leaves == 1:
-            return 1
-        return max(1, math.ceil(math.log(self.num_leaves, self.arity)))
+            depth = 1
+        else:
+            depth = max(1, math.ceil(math.log(self.num_leaves, self.arity)))
+        fill = object.__setattr__
+        fill(self, "depth", depth)
+        nodes_at = tuple(
+            max(1, math.ceil(self.num_leaves / (self.arity ** lv)))
+            for lv in range(depth + 1)
+        )
+        fill(self, "_nodes_at", nodes_at)
+        offsets = [0, 0]  # levels 0 (leaves, unused) and 1 start at 0
+        for lv in range(1, depth):
+            offsets.append(offsets[-1] + nodes_at[lv])
+        fill(self, "_ordinal_offsets", tuple(offsets))
 
     def nodes_at_level(self, level: int) -> int:
         """How many nodes exist at ``level`` (level 0 = leaves)."""
         if not 0 <= level <= self.depth:
             raise ConfigError(f"level {level} outside tree of depth {self.depth}")
-        return max(1, math.ceil(self.num_leaves / (self.arity ** level)))
+        return self._nodes_at[level]
 
     def parent(self, level: int, index: int) -> Tuple[int, int]:
         """Coordinates of the parent of node (level, index)."""
@@ -64,8 +86,12 @@ class BMTGeometry:
         These are the nodes a verification walk reads from memory; the walk
         stops early at the first node found in the BMT cache. The root is
         excluded - it lives in an on-chip register and never generates
-        memory traffic.
+        memory traffic. Paths are memoized per leaf (callers only iterate
+        the result).
         """
+        cached = self._path_cache.get(leaf_index)
+        if cached is not None:
+            return cached
         if not 0 <= leaf_index < self.num_leaves:
             raise ConfigError(
                 f"leaf {leaf_index} outside tree of {self.num_leaves} leaves"
@@ -75,6 +101,7 @@ class BMTGeometry:
         while level < self.depth - 1:
             level, index = self.parent(level, index)
             nodes.append((level, index))
+        self._path_cache[leaf_index] = nodes
         return nodes
 
     @property
@@ -90,12 +117,9 @@ class BMTGeometry:
         """
         if not 1 <= level <= self.depth:
             raise ConfigError(f"level {level} outside internal levels 1..{self.depth}")
-        if not 0 <= index < self.nodes_at_level(level):
+        if not 0 <= index < self._nodes_at[level]:
             raise ConfigError(f"index {index} outside level {level}")
-        offset = 0
-        for lv in range(1, level):
-            offset += self.nodes_at_level(lv)
-        return offset + index
+        return self._ordinal_offsets[level] + index
 
 
 class BonsaiMerkleTree:

@@ -144,14 +144,53 @@ class ConventionalSplitCounterStore:
             reencrypt_units=siblings,
         )
 
+    def increment_span(self, base: int, count: int) -> List[IncrementResult]:
+        """Increment ``count`` consecutive sectors starting at ``base``.
+
+        Semantically identical to calling :meth:`increment` once per sector
+        in ascending order, but the common no-overflow case skips the
+        per-sector group lookup and result-object allocation - this is the
+        bulk path page fills and evictions hammer. Only the overflow results
+        are returned (in sector order); non-overflow pairs are not
+        materialized because bulk callers never read them.
+        """
+        overflows: List[IncrementResult] = []
+        limit = 1 << self.minor_bits
+        end = base + count
+        sector = base
+        while sector < end:
+            group, within = self._group(sector)
+            run = min(end - sector, self.minors_per_major - within)
+            for i in range(run):
+                # Re-read minors each iteration: an overflow replaces the list.
+                minors = group.minors
+                slot = within + i
+                new_minor = minors[slot] + 1
+                if new_minor < limit:
+                    minors[slot] = new_minor
+                else:
+                    overflows.append(self.increment(sector + i))
+            sector += run
+        return overflows
+
     def set_major(self, sector: int, major: int) -> Tuple[int, ...]:
         """Force the covering major to ``major`` (migration install path).
 
         Returns the sibling sectors that must be re-encrypted if the major
         actually changed and any of them held live data - the caller decides
         which are live. Minors reset either way, matching hardware.
+
+        Installs are monotonic: moving a major *backwards* would make the
+        store re-issue (major, minor) pairs it already consumed, i.e. reuse
+        one-time pads - a hard security violation, so it raises instead.
         """
         group, _ = self._group(sector)
+        if major < group.major:
+            raise CounterOverflowError(
+                f"conventional major for sector {sector} cannot move backwards "
+                f"({group.major} -> {major}): a smaller major would reuse "
+                "one-time pads"
+            )
         if group.major == major:
             return ()
         group.major = major

@@ -70,37 +70,29 @@ class BaselineSecurityModel(TimingSecurityModel):
         fabric = self.fabric
         ch = loc.channel
         caches = fabric.device_meta[ch]
-        read_fn = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.COUNTER, priority=True
-        )
-        wb_fn = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        fns = self.chfns[ch]
 
         ctr_unit = self._dev_layout.counter_sector(loc.local_sector)
         ctr_ready, ctr_hit = fabric.metadata_access(
-            now, caches.counter, ctr_unit, read_fn, wb_fn, TrafficCategory.COUNTER
+            now, caches.counter, ctr_unit, fns.ctr_rd_prio, fns.ctr_wr,
+            TrafficCategory.COUNTER,
         )
         if not ctr_hit:
             # Freshly fetched counters must be verified against the channel's
             # local Merkle tree before their OTP may be trusted.
-            bmt_read = lambda t, n: fabric.device_read(
-                t, ch, n, TrafficCategory.BMT, priority=True
-            )
-            bmt_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
             ctr_ready = max(
                 ctr_ready,
                 fabric.bmt_read_walk(
-                    now, caches.bmt, self._dev_bmt, ctr_unit, bmt_read, bmt_wb
+                    now, caches.bmt, self._dev_bmt, ctr_unit,
+                    fns.bmt_rd_prio, fns.bmt_wr,
                 ),
             )
         otp_ready = fabric.aes_engines[ch].book(ctr_ready)
 
-        mac_read = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.MAC, priority=True
-        )
-        mac_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
         mac_unit = self._dev_layout.mac_sector(loc.local_sector)
         mac_ready, _ = fabric.metadata_access(
-            now, caches.mac, mac_unit, mac_read, mac_wb, TrafficCategory.MAC
+            now, caches.mac, mac_unit, fns.mac_rd_prio, fns.mac_wr,
+            TrafficCategory.MAC,
         )
 
         plaintext_ready = max(data_ready, otp_ready) + 1
@@ -118,31 +110,20 @@ class BaselineSecurityModel(TimingSecurityModel):
         if result.overflowed:
             self._reencrypt_device_span(now, ch, len(result.reencrypt_units))
 
-        ctr_read = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.COUNTER, critical=False
-        )
-        ctr_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.COUNTER)
+        fns = self.chfns[ch]
         ctr_unit = self._dev_layout.counter_sector(loc.local_sector)
         fabric.metadata_access(
-            now, caches.counter, ctr_unit, ctr_read, ctr_wb,
+            now, caches.counter, ctr_unit, fns.ctr_rd_post, fns.ctr_wr,
             TrafficCategory.COUNTER, write=True,
         )
         fabric.aes_engines[ch].book(now)
-        mac_read = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.MAC, critical=False
-        )
-        mac_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.MAC)
         fabric.metadata_access(
             now, caches.mac, self._dev_layout.mac_sector(loc.local_sector),
-            mac_read, mac_wb, TrafficCategory.MAC, write=True,
+            fns.mac_rd_post, fns.mac_wr, TrafficCategory.MAC, write=True,
         )
         fabric.mac_engines[ch].book(now)
-        bmt_read = lambda t, n: fabric.device_read(
-            t, ch, n, TrafficCategory.BMT, critical=False
-        )
-        bmt_wb = lambda t, n: fabric.device_write(t, ch, n, TrafficCategory.BMT)
         fabric.bmt_update_walk(
-            now, caches.bmt, self._dev_bmt, ctr_unit, bmt_read, bmt_wb
+            now, caches.bmt, self._dev_bmt, ctr_unit, fns.bmt_rd_post, fns.bmt_wr
         )
 
     def _reencrypt_device_span(self, now: int, channel: int, sectors: int) -> None:
@@ -154,6 +135,19 @@ class BaselineSecurityModel(TimingSecurityModel):
         )
         self.fabric.aes_engines[channel].book(read_done, sectors)
         self.fabric.device_write(read_done, channel, nbytes, TrafficCategory.REENC_DATA)
+
+    def _cxl_ctr_units(self, base_sector: int) -> range:
+        """CXL counter sectors covering one page, in ascending order.
+
+        ``counter_sector`` is a monotone floor division, so the distinct
+        units of a page's contiguous sector range form a contiguous range of
+        unit indices - equivalent to the sorted set over all 128 sectors but
+        without 128 calls per migration.
+        """
+        per = self._cxl_layout.sectors_per_counter
+        first = base_sector // per
+        last = (base_sector + self.geometry.sectors_per_page - 1) // per
+        return range(first, last + 1)
 
     # ------------------------------------------------------------------ migration
     def fill(self, now: int, page: int, frame: int) -> int:
@@ -178,40 +172,31 @@ class BaselineSecurityModel(TimingSecurityModel):
         #    together, so the counter verification walks share ancestors in
         #    the BMT cache - the bulk-verify locality the paper credits the
         #    baseline with.
-        link_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.COUNTER)
-        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
-        bmt_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT)
-        bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
+        link = self.linkfns
         meta_ready = now
         base_sector = page * geom.sectors_per_page
-        ctr_units = sorted(
-            {
-                self._cxl_layout.counter_sector(base_sector + s)
-                for s in range(geom.sectors_per_page)
-            }
-        )
-        for unit in ctr_units:
+        for unit in self._cxl_ctr_units(base_sector):
             ready, hit = fabric.metadata_access(
-                now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+                now, fabric.cxl_meta.counter, unit, link.ctr_rd, link.ctr_wr,
                 TrafficCategory.COUNTER,
             )
             if not hit:
-                ready = max(
-                    ready,
-                    fabric.bmt_read_walk(
-                        now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd, bmt_wr
-                    ),
+                walked = fabric.bmt_read_walk(
+                    now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                    link.bmt_rd, link.bmt_wr,
                 )
-            meta_ready = max(meta_ready, ready)
-        mac_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.MAC)
-        mac_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.MAC)
+                if walked > ready:
+                    ready = walked
+            if ready > meta_ready:
+                meta_ready = ready
         mac_base = self._cxl_layout.mac_sector(base_sector)
         for block in range(geom.blocks_per_page):
             ready, _ = fabric.metadata_access(
-                now, fabric.cxl_meta.mac, mac_base + block, mac_rd, mac_wr,
+                now, fabric.cxl_meta.mac, mac_base + block, link.mac_rd, link.mac_wr,
                 TrafficCategory.MAC,
             )
-            meta_ready = max(meta_ready, ready)
+            if ready > meta_ready:
+                meta_ready = ready
 
         # 2. Decrypt with CXL counters and re-encrypt with device counters:
         #    each owning partition pipes its chunk's sectors twice. Only the
@@ -225,11 +210,13 @@ class BaselineSecurityModel(TimingSecurityModel):
             channel, _ = fabric.interleaver.device_chunk_location(frame, chunk)
             done = fabric.aes_engines[channel].book(crypto_start, 2 * spc)
             fabric.mac_engines[channel].book(crypto_start, spc)
-            crypto_done = max(crypto_done, done)
+            if done > crypto_done:
+                crypto_done = done
             wrote = fabric.device_write(
                 done, channel, geom.chunk_bytes, TrafficCategory.DATA
             )
-            install_done = max(install_done, wrote)
+            if wrote > install_done:
+                install_done = wrote
 
         # 3. Install device-side counters (every sector is a write here),
         #    MACs and tree updates.
@@ -237,42 +224,23 @@ class BaselineSecurityModel(TimingSecurityModel):
             channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
             caches = fabric.device_meta[channel]
             store = self._dev_counters[channel]
+            fns = self.chfns[channel]
             local_base = local_chunk * spc
-            for s in range(spc):
-                result = store.increment(local_base + s)
-                if result.overflowed:
-                    self._reencrypt_device_span(now, channel, len(result.reencrypt_units))
-            ctr_rd = lambda t, n, _c=channel: fabric.device_read(
-                t, _c, n, TrafficCategory.COUNTER, critical=False
-            )
-            ctr_wr = lambda t, n, _c=channel: fabric.device_write(
-                t, _c, n, TrafficCategory.COUNTER
-            )
+            for result in store.increment_span(local_base, spc):
+                self._reencrypt_device_span(now, channel, len(result.reencrypt_units))
             ctr_unit = self._dev_layout.counter_sector(local_base)
             fabric.metadata_access(
-                now, caches.counter, ctr_unit, ctr_rd, ctr_wr,
+                now, caches.counter, ctr_unit, fns.ctr_rd_post, fns.ctr_wr,
                 TrafficCategory.COUNTER, write=True,
-            )
-            mac_rd2 = lambda t, n, _c=channel: fabric.device_read(
-                t, _c, n, TrafficCategory.MAC, critical=False
-            )
-            mac_wr2 = lambda t, n, _c=channel: fabric.device_write(
-                t, _c, n, TrafficCategory.MAC
             )
             for block in range(geom.blocks_per_chunk):
                 unit = self._dev_layout.mac_sector(local_base) + block
                 fabric.metadata_access(
-                    now, caches.mac, unit, mac_rd2, mac_wr2,
+                    now, caches.mac, unit, fns.mac_rd_post, fns.mac_wr,
                     TrafficCategory.MAC, write=True,
                 )
-            bmt_rd2 = lambda t, n, _c=channel: fabric.device_read(
-                t, _c, n, TrafficCategory.BMT, critical=False
-            )
-            bmt_wr2 = lambda t, n, _c=channel: fabric.device_write(
-                t, _c, n, TrafficCategory.BMT
-            )
             fabric.bmt_update_walk(
-                now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd2, bmt_wr2
+                now, caches.bmt, self._dev_bmt, ctr_unit, fns.bmt_rd_post, fns.bmt_wr
             )
 
         return max(install_done, crypto_done)
@@ -290,28 +258,25 @@ class BaselineSecurityModel(TimingSecurityModel):
 
         # CXL metadata for this chunk.
         base_sector = page * geom.sectors_per_page + chunk_in_page * geom.sectors_per_chunk
-        link_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.COUNTER)
-        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
+        link = self.linkfns
         ctr_unit = self._cxl_layout.counter_sector(base_sector)
         meta_ready, hit = fabric.metadata_access(
-            now, fabric.cxl_meta.counter, ctr_unit, link_rd, link_wr,
+            now, fabric.cxl_meta.counter, ctr_unit, link.ctr_rd, link.ctr_wr,
             TrafficCategory.COUNTER,
         )
         if not hit:
-            bmt_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT)
-            bmt_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
             meta_ready = max(
                 meta_ready,
                 fabric.bmt_read_walk(
-                    now, fabric.cxl_meta.bmt, self._cxl_bmt, ctr_unit, bmt_rd, bmt_wr
+                    now, fabric.cxl_meta.bmt, self._cxl_bmt, ctr_unit,
+                    link.bmt_rd, link.bmt_wr,
                 ),
             )
-        mac_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.MAC)
-        mac_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.MAC)
         for block in range(geom.blocks_per_chunk):
             unit = self._cxl_layout.mac_sector(base_sector) + block
             ready, _ = fabric.metadata_access(
-                now, fabric.cxl_meta.mac, unit, mac_rd, mac_wr, TrafficCategory.MAC
+                now, fabric.cxl_meta.mac, unit, link.mac_rd, link.mac_wr,
+                TrafficCategory.MAC,
             )
             meta_ready = max(meta_ready, ready)
 
@@ -323,35 +288,22 @@ class BaselineSecurityModel(TimingSecurityModel):
         fabric.mac_engines[channel].book(crypto_start, spc)
         caches = fabric.device_meta[channel]
         store = self._dev_counters[channel]
+        fns = self.chfns[channel]
         local_base = local_chunk * spc
-        for s in range(spc):
-            result = store.increment(local_base + s)
-            if result.overflowed:
-                self._reencrypt_device_span(now, channel, len(result.reencrypt_units))
-        dev_rd = lambda t, n: fabric.device_read(
-            t, channel, n, TrafficCategory.COUNTER, critical=False
-        )
-        dev_wr = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.COUNTER)
+        for result in store.increment_span(local_base, spc):
+            self._reencrypt_device_span(now, channel, len(result.reencrypt_units))
         dev_ctr_unit = self._dev_layout.counter_sector(local_base)
         fabric.metadata_access(
-            now, caches.counter, dev_ctr_unit, dev_rd, dev_wr,
+            now, caches.counter, dev_ctr_unit, fns.ctr_rd_post, fns.ctr_wr,
             TrafficCategory.COUNTER, write=True,
         )
-        mac_rd2 = lambda t, n: fabric.device_read(
-            t, channel, n, TrafficCategory.MAC, critical=False
-        )
-        mac_wr2 = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.MAC)
         for block in range(geom.blocks_per_chunk):
             fabric.metadata_access(
                 now, caches.mac, self._dev_layout.mac_sector(local_base) + block,
-                mac_rd2, mac_wr2, TrafficCategory.MAC, write=True,
+                fns.mac_rd_post, fns.mac_wr, TrafficCategory.MAC, write=True,
             )
-        bmt_rd2 = lambda t, n: fabric.device_read(
-            t, channel, n, TrafficCategory.BMT, critical=False
-        )
-        bmt_wr2 = lambda t, n: fabric.device_write(t, channel, n, TrafficCategory.BMT)
         fabric.bmt_update_walk(
-            now, caches.bmt, self._dev_bmt, dev_ctr_unit, bmt_rd2, bmt_wr2
+            now, caches.bmt, self._dev_bmt, dev_ctr_unit, fns.bmt_rd_post, fns.bmt_wr
         )
         wrote = fabric.device_write(
             crypto_done, channel, geom.chunk_bytes, TrafficCategory.DATA
@@ -381,77 +333,55 @@ class BaselineSecurityModel(TimingSecurityModel):
         for chunk in all_chunks:
             channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
             caches = fabric.device_meta[channel]
+            fns = self.chfns[channel]
             local_base = local_chunk * spc
-            ctr_rd = lambda t, n, _c=channel: fabric.device_read(
-                t, _c, n, TrafficCategory.COUNTER, critical=False
-            )
-            ctr_wr = lambda t, n, _c=channel: fabric.device_write(
-                t, _c, n, TrafficCategory.COUNTER
-            )
             ctr_unit = self._dev_layout.counter_sector(local_base)
             _, ctr_hit = fabric.metadata_access(
-                now, caches.counter, ctr_unit, ctr_rd, ctr_wr, TrafficCategory.COUNTER
+                now, caches.counter, ctr_unit, fns.ctr_rd_post, fns.ctr_wr,
+                TrafficCategory.COUNTER,
             )
             if not ctr_hit:
-                bmt_rd = lambda t, n, _c=channel: fabric.device_read(
-                    t, _c, n, TrafficCategory.BMT, critical=False
-                )
-                bmt_wr = lambda t, n, _c=channel: fabric.device_write(
-                    t, _c, n, TrafficCategory.BMT
-                )
                 fabric.bmt_read_walk(
-                    now, caches.bmt, self._dev_bmt, ctr_unit, bmt_rd, bmt_wr
+                    now, caches.bmt, self._dev_bmt, ctr_unit,
+                    fns.bmt_rd_post, fns.bmt_wr,
                 )
-            mac_rd = lambda t, n, _c=channel: fabric.device_read(
-                t, _c, n, TrafficCategory.MAC, critical=False
-            )
-            mac_wr = lambda t, n, _c=channel: fabric.device_write(
-                t, _c, n, TrafficCategory.MAC
-            )
             for block in range(geom.blocks_per_chunk):
                 unit = self._dev_layout.mac_sector(local_base) + block
                 fabric.metadata_access(
-                    now, caches.mac, unit, mac_rd, mac_wr, TrafficCategory.MAC
+                    now, caches.mac, unit, fns.mac_rd_post, fns.mac_wr,
+                    TrafficCategory.MAC,
                 )
             fabric.aes_engines[channel].book(now, 2 * spc)
             fabric.mac_engines[channel].book(now, spc)
 
         # 2. Advance CXL counters for every sector and write CXL metadata.
-        for s in range(geom.sectors_per_page):
-            result = self._cxl_counters.increment(base_sector + s)
-            if result.overflowed:
-                nbytes = len(result.reencrypt_units) * geom.sector_bytes
-                self.stats.bump("baseline.cxl_overflow_reencrypts")
-                self.fabric.link_read(now, nbytes, TrafficCategory.REENC_DATA, critical=False)
-                self.fabric.link_write(now, nbytes, TrafficCategory.REENC_DATA)
+        for result in self._cxl_counters.increment_span(
+            base_sector, geom.sectors_per_page
+        ):
+            nbytes = len(result.reencrypt_units) * geom.sector_bytes
+            self.stats.bump("baseline.cxl_overflow_reencrypts")
+            self.fabric.link_read(now, nbytes, TrafficCategory.REENC_DATA, critical=False)
+            self.fabric.link_write(now, nbytes, TrafficCategory.REENC_DATA)
         # The page's updated counter sectors and recomputed MACs write back
         # as individual transactions through the metadata path, extending
         # the eviction's outbound drain.
-        link_rd = lambda t, n: fabric.link_read(t, n, TrafficCategory.COUNTER, critical=False)
-        link_wr = lambda t, n: fabric.link_write(t, n, TrafficCategory.COUNTER)
-        ctr_units = sorted(
-            {
-                self._cxl_layout.counter_sector(base_sector + s)
-                for s in range(geom.sectors_per_page)
-            }
-        )
-        bmt_rd2 = lambda t, n: fabric.link_read(t, n, TrafficCategory.BMT, critical=False)
-        bmt_wr2 = lambda t, n: fabric.link_write(t, n, TrafficCategory.BMT)
-        for unit in ctr_units:
-            drain = max(
-                drain, fabric.link_write(now, 32, TrafficCategory.COUNTER)
-            )
+        link = self.linkfns
+        for unit in self._cxl_ctr_units(base_sector):
+            wrote = fabric.link_write(now, 32, TrafficCategory.COUNTER)
+            if wrote > drain:
+                drain = wrote
             fabric.metadata_access(
-                now, fabric.cxl_meta.counter, unit, link_rd, link_wr,
+                now, fabric.cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
                 TrafficCategory.COUNTER,
             )
             fabric.bmt_update_walk(
-                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit, bmt_rd2, bmt_wr2
+                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                link.bmt_rd_post, link.bmt_wr,
             )
         for _ in range(geom.blocks_per_page):
-            drain = max(
-                drain, fabric.link_write(now, 32, TrafficCategory.MAC)
-            )
+            wrote = fabric.link_write(now, 32, TrafficCategory.MAC)
+            if wrote > drain:
+                drain = wrote
         self._drop_device_page_metadata(frame)
         return drain
 

@@ -14,7 +14,7 @@ that the models key their metadata state on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..config import SystemConfig
 from ..errors import SimulationError
@@ -118,9 +118,18 @@ class MemoryFabric:
         self.num_frames = max(
             1, int(footprint_pages * config.device_capacity_ratio)
         )
+        # locate() is a pure function of (cxl_addr, frame); the per-request
+        # walk calls it for every demand access and every dirty-sector
+        # writeback, so the coordinates are memoized. The key packs both
+        # inputs into one int (frame < num_frames) to keep lookups cheap.
+        self._loc_cache: dict = {}
 
     # -- coordinates ---------------------------------------------------------
     def locate(self, cxl_addr: int, frame: int) -> SectorLoc:
+        key = cxl_addr * self.num_frames + frame
+        loc = self._loc_cache.get(key)
+        if loc is not None:
+            return loc
         geom = self.geometry
         page = geom.page_of(cxl_addr)
         sector_in_page = geom.sector_in_page(cxl_addr)
@@ -129,7 +138,7 @@ class MemoryFabric:
         channel, local_chunk = self.interleaver.device_chunk_location(frame, chunk_in_page)
         local_sector = local_chunk * geom.sectors_per_chunk + sector_in_chunk
         device_chunk = frame * geom.chunks_per_page + chunk_in_page
-        return SectorLoc(
+        loc = SectorLoc(
             cxl_addr=cxl_addr,
             page=page,
             sector_in_page=sector_in_page,
@@ -141,6 +150,8 @@ class MemoryFabric:
             local_chunk=local_chunk,
             device_chunk=device_chunk,
         )
+        self._loc_cache[key] = loc
+        return loc
 
     # -- raw bookings ----------------------------------------------------------
     def device_read(
@@ -182,13 +193,14 @@ class MemoryFabric:
         category: TrafficCategory,
         write: bool = False,
         tag_payload: object = None,
-    ) -> int:
+    ) -> Tuple[int, bool]:
         """Access one 32 B metadata unit through a sectored metadata cache.
 
         ``read_fn(now, nbytes)`` books the fill on a miss and returns its
         ready time; ``write_fn(now, nbytes)`` books posted writebacks of any
-        dirty sectors pushed out by the allocation. Returns
-        ``(ready_cycle, sector_hit)``.
+        dirty sectors pushed out by the allocation. Returns the pair
+        ``(ready_cycle, sector_hit)`` - the cycle the unit is usable and
+        whether it was already resident.
         """
         result = cache.access(unit // 4, unit % 4, write=write, tag_payload=tag_payload)
         ready = now
@@ -233,7 +245,9 @@ class MemoryFabric:
             if result.sector_hit:
                 break
             levels += 1
-            ready = max(ready, read_fn(ready, BMT_NODE_BYTES))
+            fetched = read_fn(ready, BMT_NODE_BYTES)
+            if fetched > ready:
+                ready = fetched
         if levels and self.tracer.enabled:
             self.tracer.span(
                 cache.name, "bmt_walk", now, ready - now, cat="metadata",

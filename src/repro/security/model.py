@@ -21,7 +21,72 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Tuple
 
+from ..sim.stats import TrafficCategory
 from .fabric import MemoryFabric, SectorLoc
+
+
+class ChannelBookings:
+    """Pre-bound metadata booking callables for one device channel.
+
+    The demand path books several counter/MAC/BMT legs per request; building
+    the read/write closures fresh inside every ``read_complete``/``writeback``
+    call is measurable in profiles. One instance per channel is built at
+    model construction and reused for the whole run. ``_prio`` marks
+    latency-critical demand reads, ``_post`` posted (non-critical) reads.
+    """
+
+    __slots__ = (
+        "ctr_rd_prio", "ctr_rd_post", "ctr_wr",
+        "mac_rd_prio", "mac_rd_post", "mac_wr",
+        "bmt_rd_prio", "bmt_rd_post", "bmt_wr",
+    )
+
+    def __init__(self, fabric: MemoryFabric, channel: int) -> None:
+        # Bind Channel.book directly: fabric.device_read/device_write are
+        # thin index-and-forward wrappers, and this path is hot enough that
+        # the extra call frame per booking shows up in profiles. A device
+        # write is a posted booking (critical=False), matching device_write.
+        bk = fabric.channels[channel].book
+        TC = TrafficCategory
+        self.ctr_rd_prio = lambda t, n: bk(t, n, TC.COUNTER, priority=True)
+        self.ctr_rd_post = lambda t, n: bk(t, n, TC.COUNTER, critical=False)
+        self.ctr_wr = lambda t, n: bk(t, n, TC.COUNTER, critical=False)
+        self.mac_rd_prio = lambda t, n: bk(t, n, TC.MAC, priority=True)
+        self.mac_rd_post = lambda t, n: bk(t, n, TC.MAC, critical=False)
+        self.mac_wr = lambda t, n: bk(t, n, TC.MAC, critical=False)
+        self.bmt_rd_prio = lambda t, n: bk(t, n, TC.BMT, priority=True)
+        self.bmt_rd_post = lambda t, n: bk(t, n, TC.BMT, critical=False)
+        self.bmt_wr = lambda t, n: bk(t, n, TC.BMT, critical=False)
+
+
+class LinkBookings:
+    """Pre-bound metadata booking callables for the CXL link (both ways)."""
+
+    __slots__ = (
+        "ctr_rd", "ctr_rd_prio", "ctr_rd_post", "ctr_wr",
+        "mac_rd", "mac_rd_prio", "mac_wr",
+        "bmt_rd", "bmt_rd_prio", "bmt_rd_post", "bmt_wr",
+    )
+
+    def __init__(self, fabric: MemoryFabric) -> None:
+        # As in ChannelBookings, bind the directional Channel.book methods
+        # directly: a link read is an RX booking (critical by default), a
+        # link write a posted TX booking - identical to fabric.link_read /
+        # fabric.link_write minus one call frame per booking.
+        rx = fabric.link.to_device.book
+        tx = fabric.link.to_cxl.book
+        TC = TrafficCategory
+        self.ctr_rd = lambda t, n: rx(t, n, TC.COUNTER)
+        self.ctr_rd_prio = lambda t, n: rx(t, n, TC.COUNTER, priority=True)
+        self.ctr_rd_post = lambda t, n: rx(t, n, TC.COUNTER, critical=False)
+        self.ctr_wr = lambda t, n: tx(t, n, TC.COUNTER, critical=False)
+        self.mac_rd = lambda t, n: rx(t, n, TC.MAC)
+        self.mac_rd_prio = lambda t, n: rx(t, n, TC.MAC, priority=True)
+        self.mac_wr = lambda t, n: tx(t, n, TC.MAC, critical=False)
+        self.bmt_rd = lambda t, n: rx(t, n, TC.BMT)
+        self.bmt_rd_prio = lambda t, n: rx(t, n, TC.BMT, priority=True)
+        self.bmt_rd_post = lambda t, n: rx(t, n, TC.BMT, critical=False)
+        self.bmt_wr = lambda t, n: tx(t, n, TC.BMT, critical=False)
 
 
 class TimingSecurityModel(ABC):
@@ -35,6 +100,11 @@ class TimingSecurityModel(ABC):
         self.geometry = fabric.geometry
         self.config = fabric.config
         self.dirty_tracker = None
+        # Shared pre-bound booking closures (see ChannelBookings).
+        self.chfns = [
+            ChannelBookings(fabric, c) for c in range(len(fabric.channels))
+        ]
+        self.linkfns = LinkBookings(fabric)
 
     def attach_dirty_tracker(self, tracker) -> None:
         """Bind the shared dirty-state tracker (called by the simulator).
@@ -81,8 +151,6 @@ class TimingSecurityModel(ABC):
         with location-tied metadata override to add their per-chunk security
         work. Returns when the chunk is usable in device memory.
         """
-        from ..sim.stats import TrafficCategory
-
         geom = self.geometry
         link_ready = self.fabric.link_read(
             now, geom.chunk_bytes, TrafficCategory.DATA
@@ -105,8 +173,6 @@ class TimingSecurityModel(ABC):
         Returns ``(link_ready, install_done)``: when the page's bytes have
         crossed the link, and when the device-side writes have drained.
         """
-        from ..sim.stats import TrafficCategory
-
         geom = self.geometry
         link_ready = self.fabric.link_read(
             now, geom.page_bytes, TrafficCategory.DATA
@@ -117,7 +183,8 @@ class TimingSecurityModel(ABC):
             wrote = self.fabric.device_write(
                 link_ready, channel, geom.chunk_bytes, TrafficCategory.DATA
             )
-            done = max(done, wrote)
+            if wrote > done:
+                done = wrote
         _ = page
         return link_ready, done
 
@@ -149,8 +216,6 @@ class TimingSecurityModel(ABC):
         link as one coalesced burst, since the eviction engine drains them
         together.
         """
-        from ..sim.stats import TrafficCategory
-
         geom = self.geometry
         if not chunks:
             return now
@@ -160,7 +225,8 @@ class TimingSecurityModel(ABC):
             read_done = self.fabric.device_read(
                 now, channel, geom.chunk_bytes, TrafficCategory.DATA, critical=False
             )
-            gathered = max(gathered, read_done)
+            if read_done > gathered:
+                gathered = read_done
         return self.fabric.link_write(
             gathered, len(chunks) * geom.chunk_bytes, TrafficCategory.DATA
         )

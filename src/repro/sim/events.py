@@ -37,6 +37,7 @@ class EventQueue:
         self._heap: List[Tuple[int, int, Event]] = []
         self._seq = itertools.count()
         self._cancelled: set = set()
+        self._pending: set = set()
         self.now: int = 0
 
     def __len__(self) -> int:
@@ -49,6 +50,7 @@ class EventQueue:
         seq = next(self._seq)
         event = Event(self.now + delay, seq, action)
         heapq.heappush(self._heap, (event.time, seq, event))
+        self._pending.add((event.time, seq))
         return event
 
     def schedule_at(self, time: int, action: Callable[[], None]) -> Event:
@@ -60,16 +62,25 @@ class EventQueue:
         seq = next(self._seq)
         event = Event(time, seq, action)
         heapq.heappush(self._heap, (time, seq, event))
+        self._pending.add((time, seq))
         return event
 
     def cancel(self, event: Event) -> None:
-        """Mark an event so it will be skipped when its time comes."""
-        self._cancelled.add((event.time, event.seq))
+        """Mark an event so it will be skipped when its time comes.
+
+        Cancelling an event that already fired (or was itself cancelled and
+        skipped) is a no-op: only genuinely pending events are marked, so
+        ``__len__`` never undercounts or goes negative.
+        """
+        key = (event.time, event.seq)
+        if key in self._pending:
+            self._cancelled.add(key)
 
     def step(self) -> Optional[Event]:
         """Pop and fire the next event; returns it, or None if queue is empty."""
         while self._heap:
             time, seq, event = heapq.heappop(self._heap)
+            self._pending.discard((time, seq))
             if (time, seq) in self._cancelled:
                 self._cancelled.discard((time, seq))
                 continue
@@ -89,6 +100,7 @@ class EventQueue:
             time, seq, event = self._heap[0]
             if (time, seq) in self._cancelled:
                 heapq.heappop(self._heap)
+                self._pending.discard((time, seq))
                 self._cancelled.discard((time, seq))
                 continue
             if until is not None and time > until:
@@ -96,6 +108,7 @@ class EventQueue:
             if max_events is not None and fired >= max_events:
                 break
             heapq.heappop(self._heap)
+            self._pending.discard((time, seq))
             self.now = time
             event.fire()
             fired += 1
@@ -123,15 +136,23 @@ class PeriodicSampler:
         self.callback = callback
         self.samples = 0
         self._running = True
-        queue.schedule(epoch, self._fire)
+        self._pending_event: Optional[Event] = queue.schedule(epoch, self._fire)
 
     def _fire(self) -> None:
         if not self._running:
             return
         self.callback(self.queue.now)
         self.samples += 1
-        self.queue.schedule(self.epoch, self._fire)
+        self._pending_event = self.queue.schedule(self.epoch, self._fire)
 
     def stop(self) -> None:
-        """Stop after the current epoch; pending fires become no-ops."""
+        """Stop the sampler and cancel its pending event.
+
+        A stopped sampler leaves nothing behind in the queue: the in-flight
+        self-reschedule is cancelled, so ``len(queue)`` drops to whatever
+        other work remains (zero for a sampler-only queue).
+        """
         self._running = False
+        if self._pending_event is not None:
+            self.queue.cancel(self._pending_event)
+            self._pending_event = None

@@ -32,6 +32,15 @@ class TrafficCategory(enum.Enum):
     MAPPING = "mapping"        # CXL-to-GPU mapping sectors (incl. dirty bitmasks)
     REENC_DATA = "reenc_data"  # data moved only to be re-encrypted
 
+    # Enum's default __hash__ is a Python-level call on the member name;
+    # every traffic tally hashes two enums, which shows up in profiles.
+    # Identity hashing is safe here: members are singletons compared by
+    # identity, dicts iterate in insertion order regardless of hash, and no
+    # hash-ordered iteration over these enums exists (the only enum set,
+    # _SECURITY_CATEGORIES, is membership-tested only). All serialized /
+    # reported orderings sort by .value explicitly.
+    __hash__ = object.__hash__
+
     @property
     def is_security(self) -> bool:
         """True for traffic that exists only because of the security model."""
@@ -53,6 +62,8 @@ class Side(enum.Enum):
 
     DEVICE = "device"   # GPU device memory (HBM/GDDR) channels
     CXL = "cxl"         # CXL-attached expansion memory, through the link
+
+    __hash__ = object.__hash__  # identity hash; see TrafficCategory
 
 
 @dataclass
