@@ -19,7 +19,15 @@ Two distinct address spaces exist:
   used as a page cache. Data moves between frames, so device addresses are
   transient.
 
-This module provides the pure arithmetic for both; it has no simulator state.
+The CXL address space may span several expansion devices
+(:class:`~repro.config.TopologyConfig`); :class:`ShardMap` holds the pure
+CXL-address -> home-device sharding arithmetic. Because security metadata is
+keyed to permanent CXL addresses, a page's home device is a fixed function
+of its address - no re-keying ever happens, no matter which device or frame
+the bytes occupy.
+
+This module provides the pure arithmetic for all of it; it has no simulator
+state.
 """
 
 from __future__ import annotations
@@ -179,6 +187,100 @@ class Geometry:
     def _check_addr(addr: int) -> None:
         if addr < 0:
             raise AddressError(f"negative address {addr:#x}")
+
+
+#: Home-device sharding policies a :class:`ShardMap` understands.
+SHARDING_POLICIES = frozenset({"page", "range"})
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """CXL-address -> home-device sharding over a multi-device fabric.
+
+    A total, balanced partition of the CXL page space onto ``num_devices``
+    expansion devices. Two policies:
+
+    * ``"page"`` - round-robin by page number (``page % num_devices``).
+      Perfectly balanced for any footprint; consecutive pages land on
+      different devices, spreading migration bursts over all links.
+    * ``"range"`` - contiguous equal splits of ``total_pages``: device 0
+      homes the first ``ceil(total/n)`` pages, and so on. Models pooled
+      memory carved into regions; requires ``total_pages > 0``.
+
+    Every page also has a **device-local page index** (its position within
+    its home device's slice), which per-device metadata layouts and Merkle
+    trees are sized and keyed by. ``local_page`` is a bijection between a
+    device's homed pages and ``range(pages_on(device))`` - the property
+    tests verify totality and balance.
+    """
+
+    geometry: Geometry
+    num_devices: int = 1
+    policy: str = "page"
+    total_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise AddressError("num_devices must be at least 1")
+        if self.policy not in SHARDING_POLICIES:
+            raise AddressError(
+                f"unknown sharding policy {self.policy!r}; "
+                f"choose from {sorted(SHARDING_POLICIES)}"
+            )
+        if self.policy == "range" and self.total_pages <= 0:
+            raise AddressError("range sharding requires total_pages > 0")
+
+    @property
+    def _range_span(self) -> int:
+        """Pages per device under range sharding (ceil division)."""
+        return -(-self.total_pages // self.num_devices)
+
+    # -- page -> device ------------------------------------------------------
+    def home_of_page(self, page: int) -> int:
+        """Home device of a CXL page; total over all non-negative pages."""
+        if page < 0:
+            raise AddressError(f"negative page {page}")
+        if self.num_devices == 1:
+            return 0
+        if self.policy == "page":
+            return page % self.num_devices
+        device = page // self._range_span
+        return device if device < self.num_devices else self.num_devices - 1
+
+    def home_of_addr(self, addr: int) -> int:
+        """Home device of the page containing byte address ``addr``."""
+        self.geometry._check_addr(addr)
+        return self.home_of_page(addr // self.geometry.page_bytes)
+
+    def local_page(self, page: int) -> int:
+        """Device-local index of ``page`` within its home device's slice."""
+        if page < 0:
+            raise AddressError(f"negative page {page}")
+        if self.num_devices == 1:
+            return page
+        if self.policy == "page":
+            return page // self.num_devices
+        return page - self.home_of_page(page) * self._range_span
+
+    # -- sizing --------------------------------------------------------------
+    def pages_on(self, device: int, total_pages: int = 0) -> int:
+        """How many of ``total_pages`` CXL pages are homed on ``device``.
+
+        Uses the map's own ``total_pages`` when the argument is omitted.
+        """
+        total = total_pages or self.total_pages
+        if total <= 0:
+            raise AddressError("pages_on needs a positive page count")
+        if not 0 <= device < self.num_devices:
+            raise AddressError(f"device {device} outside fabric of {self.num_devices}")
+        if self.num_devices == 1:
+            return total
+        if self.policy == "page":
+            # Pages device, device+n, device+2n, ... below total.
+            return (total - device + self.num_devices - 1) // self.num_devices
+        span = self._range_span
+        start = device * span
+        return max(0, min(total, start + span) - start)
 
 
 DEFAULT_GEOMETRY = Geometry()

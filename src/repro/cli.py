@@ -6,6 +6,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro figure fig10 --accesses 20000
     python -m repro figures --jobs 4           # all figures, 4 worker processes
     python -m repro figure all --benchmarks nw btree sgemm
+    python -m repro run nw --cxl-devices 2     # two-device CXL fabric
+    python -m repro topology nw --cxl-devices 4
+    python -m repro figure topology            # devices x link-bw sweep
     python -m repro trace nw                   # Chrome/Perfetto trace.json
     python -m repro run nw --json > r.json && python -m repro report r.json
     python -m repro list
@@ -43,6 +46,7 @@ from .harness.experiments import (
     run_fig12_bandwidth,
     run_fig13_cxl_bw,
     run_fig14_footprint,
+    run_topology_scaling,
 )
 from .harness.report import format_table
 from .harness.runner import MODEL_NAMES, run_benchmark, run_model
@@ -56,6 +60,7 @@ FIGURES = {
     "fig13": run_fig13_cxl_bw,
     "fig14": run_fig14_footprint,
     "ablation": run_ablation,
+    "topology": run_topology_scaling,
 }
 
 
@@ -70,6 +75,10 @@ def _build_config(args: argparse.Namespace) -> SystemConfig:
 
         config = replace(
             config, gpu=replace(config.gpu, fill_granularity=args.fill_granularity)
+        )
+    if getattr(args, "cxl_devices", None) is not None:
+        config = config.with_cxl_devices(
+            args.cxl_devices, sharding=getattr(args, "sharding", None) or "page"
         )
     return config
 
@@ -86,6 +95,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         help="page-fault data movement: whole page (default) "
                              "or on-demand 256 B chunks")
+    parser.add_argument("--cxl-devices", type=int, default=None, metavar="N",
+                        help="expansion devices in the CXL fabric, each with "
+                             "its own link and security plane (default 1)")
+    parser.add_argument("--sharding", choices=("page", "range"), default=None,
+                        help="CXL page -> home device policy for "
+                             "--cxl-devices > 1 (default page round-robin)")
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -259,6 +274,62 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_topology(args: argparse.Namespace) -> int:
+    """The ``topology`` command: print the resolved CXL fabric layout."""
+    from .address import ShardMap
+
+    config = _build_config(args)
+    topo = config.topology
+    gpu = config.gpu
+    base_bw = gpu.device_bandwidth_gbps / gpu.core_clock_ghz
+    rows = []
+    for d in range(topo.num_devices):
+        ratio = topo.bw_ratio(d, gpu.cxl_bw_ratio)
+        rows.append(
+            (
+                f"dev{d}",
+                "cxl" if d == 0 else f"cxl{d}",
+                ratio,
+                base_bw * ratio,
+                topo.latency(d, gpu.cxl_latency_cycles),
+            )
+        )
+    print(
+        format_table(
+            ("device", "link", "bw_ratio", "bytes/cycle", "latency_cycles"),
+            rows,
+            title=f"CXL fabric: {topo.num_devices} device(s), "
+                  f"{topo.sharding} sharding",
+        )
+    )
+    if args.benchmark:
+        trace = build_trace(
+            args.benchmark, n_accesses=args.accesses, seed=args.seed,
+            num_sms=config.gpu.num_sms,
+        )
+        shard = ShardMap(
+            geometry=config.geometry,
+            num_devices=topo.num_devices,
+            policy=topo.sharding,
+            total_pages=trace.footprint_pages,
+        )
+        rows = [
+            (f"dev{d}", shard.pages_on(d),
+             shard.pages_on(d) * config.geometry.page_bytes // 1024)
+            for d in range(topo.num_devices)
+        ]
+        print()
+        print(
+            format_table(
+                ("device", "homed_pages", "KiB"),
+                rows,
+                title=f"{args.benchmark}: {trace.footprint_pages} pages "
+                      f"sharded by '{topo.sharding}'",
+            )
+        )
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     """The ``figure``/``figures`` commands: regenerate paper figures.
 
@@ -348,6 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-o", "--output", default=None,
                           help="write the report to a file instead of stdout")
     p_report.set_defaults(func=cmd_report)
+
+    p_topo = sub.add_parser(
+        "topology", help="print the resolved multi-device CXL fabric layout"
+    )
+    p_topo.add_argument("benchmark", nargs="?", default=None,
+                        choices=benchmark_names(),
+                        help="optional: also show how this benchmark's pages "
+                             "shard over the devices")
+    _add_common(p_topo)
+    p_topo.set_defaults(func=cmd_topology)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=list(FIGURES) + ["all"])

@@ -1,6 +1,6 @@
 """System configuration, mirroring Tables I and II of the Salus paper.
 
-Three dataclasses compose the full configuration:
+Four dataclasses compose the full configuration:
 
 * :class:`GPUConfig` - the baseline GPU (Table I, NVIDIA Volta class): SM
   count, warp slots, memory partitions, bandwidths, cache geometry, and the
@@ -10,6 +10,9 @@ Three dataclasses compose the full configuration:
   metadata caches, MAC/AES latencies, counter/MAC/Merkle-tree geometry.
 * :class:`SalusConfig` - feature flags for the four Salus optimizations, so
   ablation benchmarks can enable them one at a time.
+* :class:`TopologyConfig` - shape of the CXL fabric: how many expansion
+  devices, how CXL pages shard onto them, and per-device link overrides.
+  Defaults to the paper's single-device topology.
 
 :class:`SystemConfig` bundles all three plus the address
 :class:`~repro.address.Geometry` and the device-capacity-to-footprint ratio
@@ -25,8 +28,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
+from typing import Tuple
 
-from .address import Geometry
+from .address import SHARDING_POLICIES, Geometry
 from .errors import ConfigError
 
 
@@ -155,6 +159,68 @@ class SecurityConfig:
 
 
 @dataclass(frozen=True)
+class TopologyConfig:
+    """Shape of the CXL fabric: how many expansion devices and their links.
+
+    Salus keys all security metadata to permanent CXL addresses
+    (Section IV-A), which makes the scheme naturally multi-device: each
+    type-3 device owns its own security plane (counter/MAC stores, Merkle
+    root, link-side metadata caches) over the slice of the CXL address
+    space it is home to, and unified addressing means a page never needs
+    re-keying no matter which device it lives on or which GPU frame caches
+    it. The default is the paper's single-device topology.
+
+    * ``num_devices`` - expansion devices on the fabric (each with its own
+      full-duplex link pair).
+    * ``sharding`` - how CXL pages map to home devices: ``"page"``
+      (round-robin by page number, the balanced default) or ``"range"``
+      (contiguous equal splits of the footprint).
+    * ``link_bw_ratios`` / ``link_latencies`` - optional per-device
+      overrides of the link bandwidth ratio (vs. device memory bandwidth)
+      and link latency; empty tuples mean every device uses the
+      :class:`GPUConfig` values. Heterogeneous fabrics (e.g. one near
+      device, one far pooled device) set these per slot.
+    """
+
+    num_devices: int = 1
+    sharding: str = "page"
+    link_bw_ratios: Tuple[float, ...] = ()
+    link_latencies: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ConfigError("num_devices must be at least 1")
+        if self.sharding not in SHARDING_POLICIES:
+            raise ConfigError(
+                f"sharding must be one of {sorted(SHARDING_POLICIES)}, "
+                f"got {self.sharding!r}"
+            )
+        for name in ("link_bw_ratios", "link_latencies"):
+            values = getattr(self, name)
+            if values and len(values) != self.num_devices:
+                raise ConfigError(
+                    f"{name} must be empty or have one entry per device "
+                    f"({self.num_devices}), got {len(values)}"
+                )
+        if any(not 0.0 < r <= 1.0 for r in self.link_bw_ratios):
+            raise ConfigError("link_bw_ratios entries must be in (0, 1]")
+        if any(lat < 0 for lat in self.link_latencies):
+            raise ConfigError("link_latencies entries must be non-negative")
+
+    def bw_ratio(self, device: int, default: float) -> float:
+        """Link bandwidth ratio of one device (falling back to the GPU's)."""
+        if self.link_bw_ratios:
+            return self.link_bw_ratios[device]
+        return default
+
+    def latency(self, device: int, default: int) -> int:
+        """Link latency of one device (falling back to the GPU's)."""
+        if self.link_latencies:
+            return self.link_latencies[device]
+        return default
+
+
+@dataclass(frozen=True)
 class SalusConfig:
     """Feature flags for the four Salus optimizations (Section IV-A).
 
@@ -210,6 +276,7 @@ class SystemConfig:
     security: SecurityConfig = field(default_factory=SecurityConfig)
     salus: SalusConfig = field(default_factory=SalusConfig)
     geometry: Geometry = field(default_factory=Geometry)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
     # Fraction of the application footprint that fits in device memory
     # (Figure 14 sweeps {0.20, 0.35, 0.50}; the main evaluation uses 0.35).
@@ -309,3 +376,13 @@ class SystemConfig:
     def with_capacity_ratio(self, ratio: float) -> "SystemConfig":
         """Copy with a different device-capacity ratio (Figure 14)."""
         return replace(self, device_capacity_ratio=ratio)
+
+    def with_topology(self, topology: TopologyConfig) -> "SystemConfig":
+        """Copy of this config with a different CXL fabric topology."""
+        return replace(self, topology=topology)
+
+    def with_cxl_devices(self, num_devices: int, sharding: str = "page") -> "SystemConfig":
+        """Copy with an N-device CXL fabric (uniform links, default sharding)."""
+        return replace(
+            self, topology=TopologyConfig(num_devices=num_devices, sharding=sharding)
+        )

@@ -86,22 +86,33 @@ class SalusSecurityModel(TimingSecurityModel):
         )
         self._dev_bmt = self.groups.bmt_geometry(sec.bmt_arity)
 
-        self.cxl_state = CollapsedCXLMetadata(
-            geometry=geom,
-            footprint_pages=fabric.footprint_pages,
-            minor_bits=sec.cxl_minor_counter_bits,
-        )
-        if self.cfg.collapsed_counters:
-            self._cxl_bmt = self.cxl_state.bmt_geometry(sec.bmt_arity)
-        else:
-            # Without collapse the CXL tree covers the finer IFSC counter
-            # space: one 32 B sector per two chunks instead of per page.
-            fine = SalusDeviceLayout(
+        # One collapsed-counter plane and Merkle tree per expansion device,
+        # sized by the pages the shard map homes there and keyed by
+        # device-local page indices. Unified addressing means the planes
+        # never interact: a page's metadata lives on its home device forever.
+        self.cxl_state_by_dev = []
+        self._cxl_bmts = []
+        for dev in range(fabric.num_devices):
+            dev_pages = fabric.shard.pages_on(dev)
+            state = CollapsedCXLMetadata(
                 geometry=geom,
-                data_sectors=fabric.footprint_pages * geom.sectors_per_page,
+                footprint_pages=dev_pages,
+                minor_bits=sec.cxl_minor_counter_bits,
             )
-            self._cxl_fine_layout = fine
-            self._cxl_bmt = fine.bmt_geometry(sec.bmt_arity)
+            self.cxl_state_by_dev.append(state)
+            if self.cfg.collapsed_counters:
+                self._cxl_bmts.append(state.bmt_geometry(sec.bmt_arity))
+            else:
+                # Without collapse the CXL tree covers the finer IFSC counter
+                # space: one 32 B sector per two chunks instead of per page.
+                fine = SalusDeviceLayout(
+                    geometry=geom,
+                    data_sectors=dev_pages * geom.sectors_per_page,
+                )
+                self._cxl_bmts.append(fine.bmt_geometry(sec.bmt_arity))
+        # Device-0 plane, kept under the historical name for single-device
+        # callers and tests.
+        self.cxl_state = self.cxl_state_by_dev[0]
 
         self.foa = FetchOnAccessTracker(groups=self.groups)
         # A private tracker by default; the simulator re-attaches its shared
@@ -130,11 +141,12 @@ class SalusSecurityModel(TimingSecurityModel):
         """Mapping sectors are hashed/interleaved over the device channels."""
         return (page // 4) % self.config.gpu.num_channels
 
-    def _cxl_counter_unit(self, page: int, chunk_in_page: int) -> int:
+    def _cxl_counter_unit(self, dev: int, local_page: int, chunk_in_page: int) -> int:
+        """CXL counter unit of a chunk, in its home device's local space."""
         if self.cfg.collapsed_counters:
-            return self.cxl_state.counter_sector_unit(page)
-        global_chunk = page * self.geometry.chunks_per_page + chunk_in_page
-        return global_chunk // 2
+            return self.cxl_state_by_dev[dev].counter_sector_unit(local_page)
+        local_chunk = local_page * self.geometry.chunks_per_page + chunk_in_page
+        return local_chunk // 2
 
     def _device_chunks_of(self, frame: int) -> Tuple[int, ...]:
         cpp = self.geometry.chunks_per_page
@@ -199,6 +211,8 @@ class SalusSecurityModel(TimingSecurityModel):
         channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk_in_page)
         caches = fabric.device_meta[channel]
         device_chunk = frame * geom.chunks_per_page + chunk_in_page
+        dev = fabric.home_of_page(page)
+        local_page = fabric.shard.local_page(page)
         self.stats.bump("salus.first_touch_fetches")
         tracer = fabric.tracer
         if tracer.enabled:
@@ -214,7 +228,7 @@ class SalusSecurityModel(TimingSecurityModel):
         if not link_paid:
             mac_ready = fabric.link_read(
                 now, 2 * MAPPING_SECTOR_BYTES, TrafficCategory.MAC,
-                critical=critical, priority=critical,
+                critical=critical, priority=critical, device=dev,
             )
             if not self.cfg.collapsed_counters:
                 # Dedicated counter transfer when the embed slot is disabled.
@@ -222,16 +236,17 @@ class SalusSecurityModel(TimingSecurityModel):
                     mac_ready,
                     fabric.link_read(
                         now, MAPPING_SECTOR_BYTES, TrafficCategory.COUNTER,
-                        critical=critical, priority=critical,
+                        critical=critical, priority=critical, device=dev,
                     ),
                 )
 
         # Epoch freshness: the CXL counter sector and its Merkle path.
-        link = self.linkfns
+        link = self.linkfns_by_device[dev]
+        cxl_meta = fabric.cxl_meta_by_device[dev]
         link_rd = link.ctr_rd_prio if critical else link.ctr_rd_post
-        unit = self._cxl_counter_unit(page, chunk_in_page)
+        unit = self._cxl_counter_unit(dev, local_page, chunk_in_page)
         ctr_ready, ctr_hit = fabric.metadata_access(
-            now, fabric.cxl_meta.counter, unit, link_rd, link.ctr_wr,
+            now, cxl_meta.counter, unit, link_rd, link.ctr_wr,
             TrafficCategory.COUNTER,
         )
         if not ctr_hit:
@@ -239,14 +254,14 @@ class SalusSecurityModel(TimingSecurityModel):
             ctr_ready = max(
                 ctr_ready,
                 fabric.bmt_read_walk(
-                    now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                    now, cxl_meta.bmt, self._cxl_bmts[dev], unit,
                     bmt_rd, link.bmt_wr,
                 ),
             )
 
         # Install: counter group (or conventional majors) plus dirty device
         # metadata lines that will persist via cache writebacks.
-        epoch = self.cxl_state.chunk_epoch(page, chunk_in_page)
+        epoch = self.cxl_state_by_dev[dev].chunk_epoch(local_page, chunk_in_page)
         if self.cfg.interleaving_friendly_counters:
             self.foa.record_fetch(page, device_chunk, epoch)
         else:
@@ -426,6 +441,9 @@ class SalusSecurityModel(TimingSecurityModel):
         geom = self.geometry
         fabric = self.fabric
         drain = now
+        dev = fabric.home_of_page(page)
+        local_page = fabric.shard.local_page(page)
+        cxl_state = self.cxl_state_by_dev[dev]
         self._drop_device_page_metadata(frame)
 
         if self.cfg.fine_dirty_tracking:
@@ -449,7 +467,7 @@ class SalusSecurityModel(TimingSecurityModel):
             # Data: read the chunk, re-encrypt under the advanced epoch,
             # push the ciphertext across the link. (Collapse re-encryption
             # is required - the stored epoch must cover all 8 sectors.)
-            drain = max(drain, self._copy_chunks_to_cxl(now, frame, (chunk,)))
+            drain = max(drain, self._copy_chunks_to_cxl(now, page, frame, (chunk,)))
             if self.cfg.interleaving_friendly_counters:
                 # Collapse only if the chunk was actually written (any minor
                 # non-zero); with fine dirty tracking that is always true for
@@ -459,7 +477,7 @@ class SalusSecurityModel(TimingSecurityModel):
             else:
                 needs = True
             if needs:
-                result = self.cxl_state.collapse(page, chunk)
+                result = cxl_state.collapse(local_page, chunk)
                 if result.overflowed:
                     self.stats.bump("salus.page_epoch_overflows")
                     if fabric.tracer.enabled:
@@ -469,10 +487,11 @@ class SalusSecurityModel(TimingSecurityModel):
                         )
                     fabric.link_read(
                         now, geom.page_bytes, TrafficCategory.REENC_DATA,
-                        critical=False,
+                        critical=False, device=dev,
                     )
                     fabric.link_write(
-                        now, geom.page_bytes, TrafficCategory.REENC_DATA
+                        now, geom.page_bytes, TrafficCategory.REENC_DATA,
+                        device=dev,
                     )
                 fabric.aes_engines[channel].book(now, geom.sectors_per_chunk)
                 fabric.mac_engines[channel].book(now, geom.sectors_per_chunk)
@@ -480,10 +499,14 @@ class SalusSecurityModel(TimingSecurityModel):
             # MAC sectors travel with the embedded (new) epoch: 2 x 32 B.
             drain = max(
                 drain,
-                fabric.link_write(now, 2 * MAPPING_SECTOR_BYTES, TrafficCategory.MAC),
+                fabric.link_write(
+                    now, 2 * MAPPING_SECTOR_BYTES, TrafficCategory.MAC, device=dev
+                ),
             )
             if not self.cfg.collapsed_counters:
-                fabric.link_write(now, MAPPING_SECTOR_BYTES, TrafficCategory.COUNTER)
+                fabric.link_write(
+                    now, MAPPING_SECTOR_BYTES, TrafficCategory.COUNTER, device=dev
+                )
             if not self.cfg.interleaving_friendly_counters:
                 # Unification debt: the chunk was sharing a location major.
                 self.stats.bump("salus.unification_reencrypts")
@@ -493,18 +516,19 @@ class SalusSecurityModel(TimingSecurityModel):
                 )
                 fabric.device_write(done, channel, geom.chunk_bytes, TrafficCategory.REENC_DATA)
 
-            touched_ctr_units.add(self._cxl_counter_unit(page, chunk))
+            touched_ctr_units.add(self._cxl_counter_unit(dev, local_page, chunk))
             _ = local_chunk
 
         # CXL counter sectors + Merkle updates, once per touched unit.
-        link = self.linkfns
+        link = self.linkfns_by_device[dev]
+        cxl_meta = fabric.cxl_meta_by_device[dev]
         for unit in sorted(touched_ctr_units):
             fabric.metadata_access(
-                now, fabric.cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
+                now, cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
                 TrafficCategory.COUNTER, write=True,
             )
             fabric.bmt_update_walk(
-                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                now, cxl_meta.bmt, self._cxl_bmts[dev], unit,
                 link.bmt_rd_post, link.bmt_wr,
             )
 

@@ -180,7 +180,8 @@ class GpuSim:
         self.miss_handler = MappingMissHandler(gpu.num_gpcs)
         self.dirty = DirtyTracker(self.geometry.chunks_per_page)
         self.model.attach_dirty_tracker(self.dirty)
-        self.page_cache = PageCache(self.fabric.num_frames)
+        home_of = None if self.fabric.num_devices == 1 else self.fabric.home_of_page
+        self.page_cache = PageCache(self.fabric.num_frames, home_of=home_of)
         self.engine = MigrationEngine(
             page_cache=self.page_cache,
             mapping=self.mapping,
@@ -189,6 +190,8 @@ class GpuSim:
             evict_cb=self._evict_page,
             evict_buffer_pages=gpu.evict_buffer_pages,
             tracer=self.tracer,
+            home_of=home_of,
+            num_devices=self.fabric.num_devices,
         )
         self._now = 0  # advances with issue order; used by posted eviction work
         # Per-epoch metric sampling (observability layer): only when tracing,
@@ -444,9 +447,10 @@ class GpuSim:
                 if self.stats.final_cycle
                 else 0.0
             ),
-            "cxl_busy_cycles": self.fabric.link.busy_cycles,
+            "cxl_busy_cycles": sum(l.busy_cycles for l in self.fabric.links),
             "cxl_utilization": (
-                self.fabric.link.busy_cycles / (2 * self.stats.final_cycle)
+                sum(l.busy_cycles for l in self.fabric.links)
+                / (2 * len(self.fabric.links) * self.stats.final_cycle)
                 if self.stats.final_cycle
                 else 0.0
             ),

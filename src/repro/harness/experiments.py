@@ -330,6 +330,79 @@ def run_fig14_footprint(
     return result
 
 
+# --------------------------------------------------------------------------- topology
+def run_topology_scaling(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    device_counts: Sequence[int] = (1, 2, 4),
+    ratios: Sequence[float] = (1 / 32, 1 / 16),
+    sharding: str = "page",
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
+) -> FigureResult:
+    """Multi-device CXL fabric scaling (Figure-13-style sensitivity sweep).
+
+    Sweeps expansion-device count x per-link bandwidth ratio. Because
+    Salus keys metadata to permanent CXL addresses, sharding the page
+    space over more devices splits both data and security traffic over
+    independent links with no re-keying; the ``salus_balance`` column
+    (max/min per-device link bytes across the suite's Salus runs) shows
+    how evenly the shard policy spreads the load.
+    """
+    config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    points = [
+        (devices, ratio, config.with_cxl_bw_ratio(ratio).with_cxl_devices(devices, sharding=sharding))
+        for devices in device_counts
+        for ratio in ratios
+    ]
+    runs = _engine(engine).map(
+        [
+            SimJob.of(cfg, bench, model, n_accesses, seed)
+            for _, _, cfg in points
+            for bench in benches
+            for model in EVAL_MODELS
+        ]
+    )
+    result = FigureResult(
+        figure="topology",
+        title=f"Topology scaling - devices x per-link bandwidth ({sharding} sharding)",
+        headers=(
+            "devices", "link_bw_ratio", "baseline_norm", "salus_norm",
+            "improvement", "salus_balance",
+        ),
+    )
+    for devices, ratio, cfg in points:
+        base_norms, salus_norms = [], []
+        balance = 1.0
+        for bench in benches:
+            nosec = runs[SimJob.of(cfg, bench, "nosec", n_accesses, seed)]
+            base = runs[SimJob.of(cfg, bench, "baseline", n_accesses, seed)]
+            salus = runs[SimJob.of(cfg, bench, "salus", n_accesses, seed)]
+            base_norms.append(base.ipc / nosec.ipc)
+            salus_norms.append(salus.ipc / nosec.ipc)
+            if devices > 1:
+                per_dev = [
+                    salus.metrics.get(f"cxl.dev{d}.link_bytes", 0)
+                    for d in range(devices)
+                ]
+                if min(per_dev) > 0:
+                    balance = max(balance, max(per_dev) / min(per_dev))
+                else:
+                    balance = float("inf")
+        g_base = geomean(base_norms)
+        g_salus = geomean(salus_norms)
+        result.rows.append(
+            (devices, f"1/{round(1/ratio)}", g_base, g_salus,
+             g_salus / g_base, balance)
+        )
+        result.summary[f"improvement@{devices}dev/1_{round(1/ratio)}"] = (
+            g_salus / g_base
+        )
+    return result
+
+
 # --------------------------------------------------------------------------- ablation
 def run_ablation(
     config: Optional[SystemConfig] = None,

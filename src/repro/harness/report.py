@@ -87,6 +87,34 @@ def normalized(values: Dict[str, float], basis: str) -> Dict[str, float]:
 
 # -- run reports (observability layer) --------------------------------------
 
+def _per_device_rows(metrics: Dict[str, float]) -> List[Sequence[object]]:
+    """Per-CXL-device traffic rows from ``cxl.dev<i>.*`` metric namespaces.
+
+    Empty for single-device runs, which do not publish the dev-indexed
+    namespaces (their metric trees are kept bit-identical to the
+    pre-topology layout).
+    """
+    devices = sorted(
+        int(k.split(".")[1][3:])
+        for k in metrics
+        if k.startswith("cxl.dev") and k.endswith(".link_bytes")
+    )
+    rows: List[Sequence[object]] = []
+    for d in devices:
+        security = metrics.get(f"cxl.dev{d}.rx.security_bytes", 0) + metrics.get(
+            f"cxl.dev{d}.tx.security_bytes", 0
+        )
+        rows.append(
+            (
+                f"dev{d}",
+                metrics.get(f"cxl.dev{d}.link_bytes", 0),
+                security,
+                metrics.get(f"migration.dev{d}.fills", 0),
+                metrics.get(f"migration.dev{d}.evictions", 0),
+            )
+        )
+    return rows
+
 def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
     def cell(c: object) -> str:
         if isinstance(c, float):
@@ -149,6 +177,18 @@ def render_markdown_report(results: Sequence[RunResult]) -> str:
             )
         )
         lines.append("")
+
+        device_rows = _per_device_rows(result.metrics)
+        if device_rows:
+            lines.append("### Per-CXL-device link traffic")
+            lines.append("")
+            lines.extend(
+                _md_table(
+                    ("device", "link bytes", "security bytes", "fills", "evictions"),
+                    device_rows,
+                )
+            )
+            lines.append("")
 
         shares = channel_security_shares(result.metrics)
         if shares:

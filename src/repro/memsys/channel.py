@@ -324,7 +324,10 @@ class LinkPair:
     """Convenience holder for the two directions of the CXL link.
 
     CXL over PCIe has independent TX and RX lanes; modelling them separately
-    keeps a fill burst from serializing behind eviction writebacks.
+    keeps a fill burst from serializing behind eviction writebacks. On a
+    multi-device fabric each expansion device owns one LinkPair; ``name``
+    distinguishes them ("cxl" for the paper's single device, "cxl<i>" for
+    additional fabric slots).
     """
 
     def __init__(
@@ -334,14 +337,16 @@ class LinkPair:
         stats: StatRegistry,
         overhead_cycles: int = 0,
         tracer: Optional[Tracer] = None,
+        name: str = "cxl",
     ) -> None:
         half = bytes_per_cycle / 2.0
+        self.name = name
         self.to_device = Channel(
-            "cxl-rx", half, latency_cycles, Side.CXL, stats, overhead_cycles,
+            f"{name}-rx", half, latency_cycles, Side.CXL, stats, overhead_cycles,
             tracer=tracer,
         )
         self.to_cxl = Channel(
-            "cxl-tx", half, latency_cycles, Side.CXL, stats, overhead_cycles,
+            f"{name}-tx", half, latency_cycles, Side.CXL, stats, overhead_cycles,
             tracer=tracer,
         )
 

@@ -62,6 +62,8 @@ class MigrationEngine:
         evict_buffer_pages: int = 8,
         record_events: bool = False,
         tracer: Optional[Tracer] = None,
+        home_of: Optional[Callable[[int], int]] = None,
+        num_devices: int = 1,
     ) -> None:
         self.page_cache = page_cache
         self.mapping = mapping
@@ -76,6 +78,16 @@ class MigrationEngine:
         self.fill_count = 0
         self.evict_count = 0
         self.evict_stall_cycles = 0
+        # Topology: which expansion device homes each page. Per-device
+        # fill/evict tallies let multi-device runs report traffic balance;
+        # with the default single-device identity everything lands on dev 0.
+        self._home_of = home_of
+        self.num_devices = max(1, num_devices)
+        self.fills_by_device = [0] * self.num_devices
+        self.evicts_by_device = [0] * self.num_devices
+
+    def _home_device(self, page: int) -> int:
+        return self._home_of(page) if self._home_of is not None else 0
 
     def ensure_resident(self, now: int, page: int) -> Tuple[int, int]:
         """Guarantee ``page`` is (becoming) resident.
@@ -124,6 +136,7 @@ class MigrationEngine:
             )
         self._inflight_fills[page] = completion
         self.fill_count += 1
+        self.fills_by_device[self._home_device(page)] += 1
         if self.events is not None:
             self.events.append(
                 MigrationEvent(kind="fill", page=page, frame=result.frame, cycle=completion)
@@ -147,6 +160,7 @@ class MigrationEngine:
                 args={"page": page, "frame": frame, "dirty": len(dirty_chunks)},
             )
         self.evict_count += 1
+        self.evicts_by_device[self._home_device(page)] += 1
         if self.events is not None:
             self.events.append(
                 MigrationEvent(

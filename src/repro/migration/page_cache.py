@@ -9,7 +9,7 @@ eviction are the simulator's and security model's business.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .policies import LRUPolicy, ReplacementPolicy
@@ -27,7 +27,12 @@ class FaultResult:
 class PageCache:
     """Device memory viewed as a fully-associative cache of CXL pages."""
 
-    def __init__(self, num_frames: int, policy: Optional[ReplacementPolicy] = None) -> None:
+    def __init__(
+        self,
+        num_frames: int,
+        policy: Optional[ReplacementPolicy] = None,
+        home_of: Optional[Callable[[int], int]] = None,
+    ) -> None:
         if num_frames <= 0:
             raise SimulationError("page cache needs at least one frame")
         self.num_frames = num_frames
@@ -37,6 +42,9 @@ class PageCache:
         self._free_frames: List[int] = list(range(num_frames - 1, -1, -1))
         self.fills = 0
         self.evictions = 0
+        # Optional topology hook: maps a CXL page to its home expansion
+        # device so residency can be summarized per device.
+        self._home_of = home_of
 
     # -- queries ----------------------------------------------------------------
     def frame_of(self, page: int) -> Optional[int]:
@@ -55,6 +63,12 @@ class PageCache:
     @property
     def free_frame_count(self) -> int:
         return len(self._free_frames)
+
+    def resident_on(self, device: int) -> int:
+        """Resident pages homed on ``device`` (0 without a topology hook)."""
+        if self._home_of is None:
+            return len(self._page_to_frame) if device == 0 else 0
+        return sum(1 for page in self._page_to_frame if self._home_of(page) == device)
 
     # -- operations ----------------------------------------------------------------
     def touch(self, page: int) -> None:

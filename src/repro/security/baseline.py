@@ -23,7 +23,7 @@ security overheads due to data movement" comparison of Figure 3.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..metadata.counters import ConventionalSplitCounterStore
 from ..metadata.layout import ConventionalLayout
@@ -58,12 +58,23 @@ class BaselineSecurityModel(TimingSecurityModel):
             for c in range(gpu.num_channels)
         }
 
-        cxl_sectors = fabric.footprint_pages * geom.sectors_per_page
-        self._cxl_layout = ConventionalLayout(geometry=geom, data_sectors=cxl_sectors)
-        self._cxl_bmt = self._cxl_layout.bmt_geometry(self.config.security.bmt_arity)
-        self._cxl_counters = ConventionalSplitCounterStore(
-            minor_bits=self.config.security.minor_counter_bits
-        )
+        # One CXL-side security plane per expansion device, each sized by the
+        # pages the shard map homes there and keyed by device-local sectors.
+        self._cxl_layouts: List[ConventionalLayout] = []
+        self._cxl_bmts = []
+        self._cxl_counters_by_dev: List[ConventionalSplitCounterStore] = []
+        for dev in range(fabric.num_devices):
+            dev_sectors = fabric.shard.pages_on(dev) * geom.sectors_per_page
+            layout = ConventionalLayout(geometry=geom, data_sectors=dev_sectors)
+            self._cxl_layouts.append(layout)
+            self._cxl_bmts.append(
+                layout.bmt_geometry(self.config.security.bmt_arity)
+            )
+            self._cxl_counters_by_dev.append(
+                ConventionalSplitCounterStore(
+                    minor_bits=self.config.security.minor_counter_bits
+                )
+            )
 
     # ------------------------------------------------------------------ demand
     def read_complete(self, now: int, loc: SectorLoc, data_ready: int) -> int:
@@ -136,15 +147,16 @@ class BaselineSecurityModel(TimingSecurityModel):
         self.fabric.aes_engines[channel].book(read_done, sectors)
         self.fabric.device_write(read_done, channel, nbytes, TrafficCategory.REENC_DATA)
 
-    def _cxl_ctr_units(self, base_sector: int) -> range:
+    def _cxl_ctr_units(self, layout: ConventionalLayout, base_sector: int) -> range:
         """CXL counter sectors covering one page, in ascending order.
 
         ``counter_sector`` is a monotone floor division, so the distinct
         units of a page's contiguous sector range form a contiguous range of
         unit indices - equivalent to the sorted set over all 128 sectors but
-        without 128 calls per migration.
+        without 128 calls per migration. ``layout`` is the home device's
+        CXL-side layout; ``base_sector`` is device-local.
         """
-        per = self._cxl_layout.sectors_per_counter
+        per = layout.sectors_per_counter
         first = base_sector // per
         last = (base_sector + self.geometry.sectors_per_page - 1) // per
         return range(first, last + 1)
@@ -157,12 +169,16 @@ class BaselineSecurityModel(TimingSecurityModel):
             _, install_done = self._copy_page_to_device(now, page, frame)
             return install_done
         self.stats.bump("baseline.secure_fills")
+        dev = fabric.home_of_page(page)
+        cxl_meta = fabric.cxl_meta_by_device[dev]
+        cxl_layout = self._cxl_layouts[dev]
+        cxl_bmt = self._cxl_bmts[dev]
         # Ciphertext streams over the link in parallel with the metadata legs
         # below, but it cannot be installed into device memory until it has
         # been decrypted (CXL counters) and re-encrypted (device counters) -
         # the location-tied-metadata cost this model exists to measure.
         link_ready = fabric.link_read(
-            now, geom.page_bytes, TrafficCategory.DATA
+            now, geom.page_bytes, TrafficCategory.DATA, device=dev
         )
 
         # 1. Fetch and verify the page's CXL-side counters and MACs. Each
@@ -172,27 +188,27 @@ class BaselineSecurityModel(TimingSecurityModel):
         #    together, so the counter verification walks share ancestors in
         #    the BMT cache - the bulk-verify locality the paper credits the
         #    baseline with.
-        link = self.linkfns
+        link = self.linkfns_by_device[dev]
         meta_ready = now
-        base_sector = page * geom.sectors_per_page
-        for unit in self._cxl_ctr_units(base_sector):
+        base_sector = fabric.shard.local_page(page) * geom.sectors_per_page
+        for unit in self._cxl_ctr_units(cxl_layout, base_sector):
             ready, hit = fabric.metadata_access(
-                now, fabric.cxl_meta.counter, unit, link.ctr_rd, link.ctr_wr,
+                now, cxl_meta.counter, unit, link.ctr_rd, link.ctr_wr,
                 TrafficCategory.COUNTER,
             )
             if not hit:
                 walked = fabric.bmt_read_walk(
-                    now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                    now, cxl_meta.bmt, cxl_bmt, unit,
                     link.bmt_rd, link.bmt_wr,
                 )
                 if walked > ready:
                     ready = walked
             if ready > meta_ready:
                 meta_ready = ready
-        mac_base = self._cxl_layout.mac_sector(base_sector)
+        mac_base = cxl_layout.mac_sector(base_sector)
         for block in range(geom.blocks_per_page):
             ready, _ = fabric.metadata_access(
-                now, fabric.cxl_meta.mac, mac_base + block, link.mac_rd, link.mac_wr,
+                now, cxl_meta.mac, mac_base + block, link.mac_rd, link.mac_wr,
                 TrafficCategory.MAC,
             )
             if ready > meta_ready:
@@ -254,28 +270,36 @@ class BaselineSecurityModel(TimingSecurityModel):
         geom = self.geometry
         fabric = self.fabric
         self.stats.bump("baseline.secure_chunk_fills")
-        link_ready = fabric.link_read(now, geom.chunk_bytes, TrafficCategory.DATA)
+        dev = fabric.home_of_page(page)
+        cxl_meta = fabric.cxl_meta_by_device[dev]
+        cxl_layout = self._cxl_layouts[dev]
+        link_ready = fabric.link_read(
+            now, geom.chunk_bytes, TrafficCategory.DATA, device=dev
+        )
 
-        # CXL metadata for this chunk.
-        base_sector = page * geom.sectors_per_page + chunk_in_page * geom.sectors_per_chunk
-        link = self.linkfns
-        ctr_unit = self._cxl_layout.counter_sector(base_sector)
+        # CXL metadata for this chunk (device-local addressing).
+        base_sector = (
+            fabric.shard.local_page(page) * geom.sectors_per_page
+            + chunk_in_page * geom.sectors_per_chunk
+        )
+        link = self.linkfns_by_device[dev]
+        ctr_unit = cxl_layout.counter_sector(base_sector)
         meta_ready, hit = fabric.metadata_access(
-            now, fabric.cxl_meta.counter, ctr_unit, link.ctr_rd, link.ctr_wr,
+            now, cxl_meta.counter, ctr_unit, link.ctr_rd, link.ctr_wr,
             TrafficCategory.COUNTER,
         )
         if not hit:
             meta_ready = max(
                 meta_ready,
                 fabric.bmt_read_walk(
-                    now, fabric.cxl_meta.bmt, self._cxl_bmt, ctr_unit,
+                    now, cxl_meta.bmt, self._cxl_bmts[dev], ctr_unit,
                     link.bmt_rd, link.bmt_wr,
                 ),
             )
         for block in range(geom.blocks_per_chunk):
-            unit = self._cxl_layout.mac_sector(base_sector) + block
+            unit = cxl_layout.mac_sector(base_sector) + block
             ready, _ = fabric.metadata_access(
-                now, fabric.cxl_meta.mac, unit, link.mac_rd, link.mac_wr,
+                now, cxl_meta.mac, unit, link.mac_rd, link.mac_wr,
                 TrafficCategory.MAC,
             )
             meta_ready = max(meta_ready, ready)
@@ -321,15 +345,18 @@ class BaselineSecurityModel(TimingSecurityModel):
         geom = self.geometry
         fabric = self.fabric
         all_chunks = tuple(range(geom.chunks_per_page))
-        drain = self._copy_chunks_to_cxl(now, frame, all_chunks)
+        drain = self._copy_chunks_to_cxl(now, page, frame, all_chunks)
         if self.free_migration_security:
             return drain
         self.stats.bump("baseline.secure_evictions")
         spc = geom.sectors_per_chunk
+        dev = fabric.home_of_page(page)
+        cxl_meta = fabric.cxl_meta_by_device[dev]
+        cxl_layout = self._cxl_layouts[dev]
 
         # 1. Read and verify device-side metadata, decrypt, re-encrypt with
         #    CXL counters (every sector writes back under the coarse bit).
-        base_sector = page * geom.sectors_per_page
+        base_sector = fabric.shard.local_page(page) * geom.sectors_per_page
         for chunk in all_chunks:
             channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
             caches = fabric.device_meta[channel]
@@ -355,31 +382,33 @@ class BaselineSecurityModel(TimingSecurityModel):
             fabric.mac_engines[channel].book(now, spc)
 
         # 2. Advance CXL counters for every sector and write CXL metadata.
-        for result in self._cxl_counters.increment_span(
+        for result in self._cxl_counters_by_dev[dev].increment_span(
             base_sector, geom.sectors_per_page
         ):
             nbytes = len(result.reencrypt_units) * geom.sector_bytes
             self.stats.bump("baseline.cxl_overflow_reencrypts")
-            self.fabric.link_read(now, nbytes, TrafficCategory.REENC_DATA, critical=False)
-            self.fabric.link_write(now, nbytes, TrafficCategory.REENC_DATA)
+            self.fabric.link_read(
+                now, nbytes, TrafficCategory.REENC_DATA, critical=False, device=dev
+            )
+            self.fabric.link_write(now, nbytes, TrafficCategory.REENC_DATA, device=dev)
         # The page's updated counter sectors and recomputed MACs write back
         # as individual transactions through the metadata path, extending
         # the eviction's outbound drain.
-        link = self.linkfns
-        for unit in self._cxl_ctr_units(base_sector):
-            wrote = fabric.link_write(now, 32, TrafficCategory.COUNTER)
+        link = self.linkfns_by_device[dev]
+        for unit in self._cxl_ctr_units(cxl_layout, base_sector):
+            wrote = fabric.link_write(now, 32, TrafficCategory.COUNTER, device=dev)
             if wrote > drain:
                 drain = wrote
             fabric.metadata_access(
-                now, fabric.cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
+                now, cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
                 TrafficCategory.COUNTER,
             )
             fabric.bmt_update_walk(
-                now, fabric.cxl_meta.bmt, self._cxl_bmt, unit,
+                now, cxl_meta.bmt, self._cxl_bmts[dev], unit,
                 link.bmt_rd_post, link.bmt_wr,
             )
         for _ in range(geom.blocks_per_page):
-            wrote = fabric.link_write(now, 32, TrafficCategory.MAC)
+            wrote = fabric.link_write(now, 32, TrafficCategory.MAC, device=dev)
             if wrote > drain:
                 drain = wrote
         self._drop_device_page_metadata(frame)

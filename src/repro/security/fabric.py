@@ -1,14 +1,19 @@
 """The memory fabric: every bookable resource, shared by all security models.
 
-One :class:`MemoryFabric` instance owns the device channels, the CXL link,
-the per-partition crypto engines, the per-partition (device-side) and
-expander-side metadata caches, and the interleaver. Security models never
-touch channels directly; they go through the fabric's booking helpers so
-traffic categorization and cache-writeback accounting are uniform.
+One :class:`MemoryFabric` instance owns the device channels, the CXL fabric
+topology (one full-duplex link pair and one expander-side metadata-cache set
+per expansion device, per :class:`~repro.config.TopologyConfig`), the
+per-partition crypto engines, the per-partition (device-side) metadata
+caches, and the interleaver. Security models never touch channels directly;
+they go through the fabric's booking helpers so traffic categorization and
+cache-writeback accounting are uniform.
 
 The fabric also precomputes the :class:`SectorLoc` for each request - the
-full coordinate set (CXL page/chunk/sector, device frame/channel/local slot)
-that the models key their metadata state on.
+full coordinate set (CXL page/chunk/sector, home expansion device, device
+frame/channel/local slot) that the models key their metadata state on. The
+CXL-address -> home-device sharding itself is pure arithmetic in
+:class:`~repro.address.ShardMap`; the fabric instantiates one per run and
+exposes it as :attr:`MemoryFabric.shard`.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..address import ShardMap
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..memsys.channel import Channel, CryptoEngine, LinkPair
@@ -43,6 +49,7 @@ class SectorLoc:
     local_sector: int      # channel-local sector slot
     local_chunk: int       # channel-local chunk slot
     device_chunk: int      # global device chunk id (frame-based)
+    home_device: int = 0   # CXL expansion device homing this page
 
     @property
     def local_block(self) -> int:
@@ -85,13 +92,29 @@ class MemoryFabric:
             )
             for c in range(gpu.num_channels)
         ]
-        self.link = LinkPair(
-            bytes_per_cycle=gpu.cxl_bytes_per_cycle,
-            latency_cycles=gpu.cxl_latency_cycles,
-            stats=stats,
-            overhead_cycles=gpu.cxl_access_overhead_cycles,
-            tracer=self.tracer,
+        topology = config.topology
+        self.topology = topology
+        self.num_devices = topology.num_devices
+        self.shard = ShardMap(
+            geometry=self.geometry,
+            num_devices=topology.num_devices,
+            policy=topology.sharding,
+            total_pages=footprint_pages,
         )
+        # One full-duplex link pair per expansion device. Device 0 keeps the
+        # bare "cxl" name so single-device traces and metrics are unchanged.
+        base_bw = gpu.device_bandwidth_gbps / gpu.core_clock_ghz
+        self.links: List[LinkPair] = [
+            LinkPair(
+                bytes_per_cycle=base_bw * topology.bw_ratio(d, gpu.cxl_bw_ratio),
+                latency_cycles=topology.latency(d, gpu.cxl_latency_cycles),
+                stats=stats,
+                overhead_cycles=gpu.cxl_access_overhead_cycles,
+                tracer=self.tracer,
+                name="cxl" if d == 0 else f"cxl{d}",
+            )
+            for d in range(topology.num_devices)
+        ]
         sec = config.security
         self.aes_engines = [
             CryptoEngine(
@@ -110,8 +133,13 @@ class MemoryFabric:
         self.device_meta = [
             MetadataCaches.build(c, sec) for c in range(gpu.num_channels)
         ]
-        # The expander-side controller's metadata caches (one device).
-        self.cxl_meta = MetadataCaches.build(-1, sec)
+        # Each expansion device's controller owns its own metadata caches -
+        # an independent security plane per device. Negative partition ids
+        # mark expander-side controllers (device d is partition -(d+1), so
+        # the single-device fabric keeps its historical "ctr[-1]" names).
+        self.cxl_meta_by_device: List[MetadataCaches] = [
+            MetadataCaches.build(-(d + 1), sec) for d in range(topology.num_devices)
+        ]
         self.interleaver = Interleaver(self.geometry, gpu.num_channels)
 
         # Device frame count from the Figure-14 capacity ratio.
@@ -123,6 +151,24 @@ class MemoryFabric:
         # writeback, so the coordinates are memoized. The key packs both
         # inputs into one int (frame < num_frames) to keep lookups cheap.
         self._loc_cache: dict = {}
+        self._single_device = topology.num_devices == 1
+
+    # -- topology ------------------------------------------------------------
+    @property
+    def link(self) -> LinkPair:
+        """The first (paper's single) expansion device's link pair."""
+        return self.links[0]
+
+    @property
+    def cxl_meta(self) -> MetadataCaches:
+        """The first expansion device's controller metadata caches."""
+        return self.cxl_meta_by_device[0]
+
+    def home_of_page(self, page: int) -> int:
+        """Home expansion device of a CXL page."""
+        if self._single_device:
+            return 0
+        return self.shard.home_of_page(page)
 
     # -- coordinates ---------------------------------------------------------
     def locate(self, cxl_addr: int, frame: int) -> SectorLoc:
@@ -149,6 +195,7 @@ class MemoryFabric:
             local_sector=local_sector,
             local_chunk=local_chunk,
             device_chunk=device_chunk,
+            home_device=0 if self._single_device else self.shard.home_of_page(page),
         )
         self._loc_cache[key] = loc
         return loc
@@ -169,18 +216,19 @@ class MemoryFabric:
 
     def link_read(
         self, now: int, nbytes: int, category: TrafficCategory,
-        critical: bool = True, priority: bool = False,
+        critical: bool = True, priority: bool = False, device: int = 0,
     ) -> int:
-        """Read from the expander: data flows toward the device (RX)."""
-        return self.link.to_device.book(
+        """Read from expander ``device``: data flows toward the GPU (RX)."""
+        return self.links[device].to_device.book(
             now, nbytes, category, critical=critical, priority=priority
         )
 
     def link_write(
-        self, now: int, nbytes: int, category: TrafficCategory, critical: bool = False
+        self, now: int, nbytes: int, category: TrafficCategory,
+        critical: bool = False, device: int = 0,
     ) -> int:
-        """Write toward the expander (TX); posted by default."""
-        return self.link.to_cxl.book(now, nbytes, category, critical=critical)
+        """Write toward expander ``device`` (TX); posted by default."""
+        return self.links[device].to_cxl.book(now, nbytes, category, critical=critical)
 
     # -- metadata-through-cache helpers --------------------------------------------
     def metadata_access(
@@ -304,15 +352,16 @@ class MemoryFabric:
                 for line in cache.flush_dirty():
                     for _ in line.dirty_sectors:
                         self.device_write(now, channel, nbytes, category)
-        for kind, cache in (
-            ("counter", self.cxl_meta.counter),
-            ("mac", self.cxl_meta.mac),
-            ("bmt", self.cxl_meta.bmt),
-        ):
-            category = cxl_categories.get(kind)
-            if category is None:
-                continue
-            nbytes = BMT_NODE_BYTES if kind == "bmt" else METADATA_UNIT_BYTES
-            for line in cache.flush_dirty():
-                for _ in line.dirty_sectors:
-                    self.link_write(now, nbytes, category)
+        for device, caches in enumerate(self.cxl_meta_by_device):
+            for kind, cache in (
+                ("counter", caches.counter),
+                ("mac", caches.mac),
+                ("bmt", caches.bmt),
+            ):
+                category = cxl_categories.get(kind)
+                if category is None:
+                    continue
+                nbytes = BMT_NODE_BYTES if kind == "bmt" else METADATA_UNIT_BYTES
+                for line in cache.flush_dirty():
+                    for _ in line.dirty_sectors:
+                        self.link_write(now, nbytes, category, device=device)

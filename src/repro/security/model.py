@@ -60,7 +60,12 @@ class ChannelBookings:
 
 
 class LinkBookings:
-    """Pre-bound metadata booking callables for the CXL link (both ways)."""
+    """Pre-bound metadata booking callables for one CXL link (both ways).
+
+    One instance per expansion device; a model indexes
+    ``linkfns_by_device`` with a page's home device to book metadata legs
+    on the link that actually carries them.
+    """
 
     __slots__ = (
         "ctr_rd", "ctr_rd_prio", "ctr_rd_post", "ctr_wr",
@@ -68,13 +73,13 @@ class LinkBookings:
         "bmt_rd", "bmt_rd_prio", "bmt_rd_post", "bmt_wr",
     )
 
-    def __init__(self, fabric: MemoryFabric) -> None:
+    def __init__(self, fabric: MemoryFabric, device: int = 0) -> None:
         # As in ChannelBookings, bind the directional Channel.book methods
         # directly: a link read is an RX booking (critical by default), a
         # link write a posted TX booking - identical to fabric.link_read /
         # fabric.link_write minus one call frame per booking.
-        rx = fabric.link.to_device.book
-        tx = fabric.link.to_cxl.book
+        rx = fabric.links[device].to_device.book
+        tx = fabric.links[device].to_cxl.book
         TC = TrafficCategory
         self.ctr_rd = lambda t, n: rx(t, n, TC.COUNTER)
         self.ctr_rd_prio = lambda t, n: rx(t, n, TC.COUNTER, priority=True)
@@ -104,7 +109,12 @@ class TimingSecurityModel(ABC):
         self.chfns = [
             ChannelBookings(fabric, c) for c in range(len(fabric.channels))
         ]
-        self.linkfns = LinkBookings(fabric)
+        self.linkfns_by_device = [
+            LinkBookings(fabric, d) for d in range(fabric.num_devices)
+        ]
+        # Device-0 bindings; the single-device path (and any code that does
+        # not care about topology) keeps using this alias unchanged.
+        self.linkfns = self.linkfns_by_device[0]
 
     def attach_dirty_tracker(self, tracker) -> None:
         """Bind the shared dirty-state tracker (called by the simulator).
@@ -153,13 +163,13 @@ class TimingSecurityModel(ABC):
         """
         geom = self.geometry
         link_ready = self.fabric.link_read(
-            now, geom.chunk_bytes, TrafficCategory.DATA
+            now, geom.chunk_bytes, TrafficCategory.DATA,
+            device=self.fabric.home_of_page(page),
         )
         channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk_in_page)
         wrote = self.fabric.device_write(
             link_ready, channel, geom.chunk_bytes, TrafficCategory.DATA
         )
-        _ = page
         return max(link_ready, wrote)
 
     # -- lifecycle ----------------------------------------------------------------
@@ -175,7 +185,8 @@ class TimingSecurityModel(ABC):
         """
         geom = self.geometry
         link_ready = self.fabric.link_read(
-            now, geom.page_bytes, TrafficCategory.DATA
+            now, geom.page_bytes, TrafficCategory.DATA,
+            device=self.fabric.home_of_page(page),
         )
         done = link_ready
         for chunk in range(geom.chunks_per_page):
@@ -185,7 +196,6 @@ class TimingSecurityModel(ABC):
             )
             if wrote > done:
                 done = wrote
-        _ = page
         return link_ready, done
 
     def _drop_device_page_metadata(self, frame: int) -> None:
@@ -208,13 +218,15 @@ class TimingSecurityModel(ABC):
                 unit = first_unit + block
                 mac_cache.invalidate_sector(unit // 4, unit % 4)
 
-    def _copy_chunks_to_cxl(self, now: int, frame: int, chunks: Tuple[int, ...]) -> int:
+    def _copy_chunks_to_cxl(
+        self, now: int, page: int, frame: int, chunks: Tuple[int, ...]
+    ) -> int:
         """Book the raw data movement of a (partial) eviction; posted.
 
         The chunks are read from their owning channels (separate DRAM
         transactions - they live in different partitions) and leave over the
-        link as one coalesced burst, since the eviction engine drains them
-        together.
+        page's home-device link as one coalesced burst, since the eviction
+        engine drains them together.
         """
         geom = self.geometry
         if not chunks:
@@ -228,5 +240,6 @@ class TimingSecurityModel(ABC):
             if read_done > gathered:
                 gathered = read_done
         return self.fabric.link_write(
-            gathered, len(chunks) * geom.chunk_bytes, TrafficCategory.DATA
+            gathered, len(chunks) * geom.chunk_bytes, TrafficCategory.DATA,
+            device=self.fabric.home_of_page(page),
         )

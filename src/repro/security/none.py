@@ -38,7 +38,7 @@ class NoSecurityModel(TimingSecurityModel):
             return now
         # Page-granularity dirty bit: the whole page goes back.
         all_chunks = tuple(range(self.geometry.chunks_per_page))
-        return self._copy_chunks_to_cxl(now, frame, all_chunks)
+        return self._copy_chunks_to_cxl(now, page, frame, all_chunks)
 
     def finalize(self, now: int) -> None:
         return None

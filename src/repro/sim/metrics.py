@@ -8,7 +8,10 @@ namespace the observability layer exports (documented exhaustively in
 
 * ``gpu.channel<i>.*`` - per-device-channel bytes/ops per traffic category
   and busy cycles;
-* ``cxl.rx.*`` / ``cxl.tx.*`` - per-link-direction equivalents;
+* ``cxl.rx.*`` / ``cxl.tx.*`` - per-link-direction equivalents (device 0's
+  link; multi-device topologies add ``cxl.dev<i>.rx/tx.*`` and
+  ``cxl.dev<i>.link_bytes`` per expansion device, plus
+  ``meta.cxl.dev<i>.*`` and ``migration.dev<i>.*``);
 * ``gpu.aes<i>.sectors`` / ``gpu.macengine<i>.sectors`` - crypto pipeline load;
 * ``gpu.l2.slice<i>.*`` - L2 hits/misses/MSHR merges;
 * ``meta.device<i>.{counter,mac,bmt}.*`` and ``meta.cxl.{counter,mac,bmt}.*``
@@ -62,6 +65,19 @@ def collect_metrics(sim) -> MetricTree:
         _channel_metrics(tree, f"gpu.channel{i}", channel)
     _channel_metrics(tree, "cxl.rx", fabric.link.to_device)
     _channel_metrics(tree, "cxl.tx", fabric.link.to_cxl)
+    if len(fabric.links) > 1:
+        # Multi-device topologies additionally publish per-device link
+        # namespaces (device 0 repeats under its dev-indexed name so the
+        # sweep code can iterate uniformly). Single-device trees are kept
+        # byte-identical to the historical layout.
+        for d, link in enumerate(fabric.links):
+            _channel_metrics(tree, f"cxl.dev{d}.rx", link.to_device)
+            _channel_metrics(tree, f"cxl.dev{d}.tx", link.to_cxl)
+            tree[f"cxl.dev{d}.link_bytes"] = sum(
+                nbytes for nbytes, _ in link.to_device.category_tallies.values()
+            ) + sum(
+                nbytes for nbytes, _ in link.to_cxl.category_tallies.values()
+            )
 
     for i, engine in enumerate(fabric.aes_engines):
         tree[f"gpu.aes{i}.sectors"] = engine.sectors_processed
@@ -76,6 +92,9 @@ def collect_metrics(sim) -> MetricTree:
     for i, caches in enumerate(fabric.device_meta):
         tree.update(caches.as_metrics(f"meta.device{i}"))
     tree.update(fabric.cxl_meta.as_metrics("meta.cxl"))
+    if len(fabric.cxl_meta_by_device) > 1:
+        for d, caches in enumerate(fabric.cxl_meta_by_device):
+            tree.update(caches.as_metrics(f"meta.cxl.dev{d}"))
 
     for i, cache in enumerate(sim.miss_handler.caches):
         tree[f"gpu.mapping.gpc{i}.hits"] = cache.hits
@@ -84,6 +103,10 @@ def collect_metrics(sim) -> MetricTree:
     tree["migration.fills"] = sim.engine.fill_count
     tree["migration.evictions"] = sim.engine.evict_count
     tree["migration.evict_stall_cycles"] = sim.engine.evict_stall_cycles
+    if sim.engine.num_devices > 1:
+        for d in range(sim.engine.num_devices):
+            tree[f"migration.dev{d}.fills"] = sim.engine.fills_by_device[d]
+            tree[f"migration.dev{d}.evictions"] = sim.engine.evicts_by_device[d]
 
     tree["sim.instructions"] = sim.stats.instructions
     tree["sim.final_cycle"] = sim.stats.final_cycle

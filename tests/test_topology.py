@@ -1,0 +1,258 @@
+"""Topology layer: TopologyConfig, shard math, and multi-device behavior.
+
+Three layers of guarantees:
+
+* **Config validation** - :class:`~repro.config.TopologyConfig` rejects
+  malformed fabrics at construction.
+* **Shard-math properties** (Hypothesis) - for any 1-4 device fabric the
+  home-device function is a *total, balanced partition* of the CXL page
+  space, ``local_page`` is a bijection onto each device's slice, and
+  :class:`~repro.memsys.interleave.Interleaver` chunk placement covers all
+  device channels.
+* **Behavior preservation** - a size-1 topology is bit-identical to the
+  pre-topology simulator: the quick perf sweep reproduces the recorded
+  RunResult fingerprints in ``BENCH_perf.json``, and an explicit
+  ``TopologyConfig(num_devices=1)`` matches the default config run for run.
+  Multi-device runs complete and publish per-device link metrics.
+"""
+
+import importlib.util
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.address import DEFAULT_GEOMETRY, ShardMap
+from repro.config import SystemConfig, TopologyConfig
+from repro.errors import AddressError, ConfigError
+from repro.harness.runner import run_model
+from repro.memsys.interleave import Interleaver
+from repro.workloads import build_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------- validation
+class TestTopologyConfig:
+    def test_default_is_single_device(self):
+        topo = SystemConfig.bench().topology
+        assert topo.num_devices == 1
+        assert topo.sharding == "page"
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=0)
+
+    def test_rejects_unknown_sharding(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=2, sharding="hash")
+
+    def test_rejects_mismatched_tuples(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=2, link_bw_ratios=(0.1,))
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=2, link_latencies=(100, 100, 100))
+
+    def test_rejects_bad_link_parameters(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=1, link_bw_ratios=(0.0,))
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=1, link_bw_ratios=(1.5,))
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_devices=1, link_latencies=(-1,))
+
+    def test_per_device_overrides_and_defaults(self):
+        topo = TopologyConfig(
+            num_devices=2, link_bw_ratios=(0.25, 0.125), link_latencies=(300, 500)
+        )
+        assert topo.bw_ratio(0, 1 / 16) == 0.25
+        assert topo.bw_ratio(1, 1 / 16) == 0.125
+        assert topo.latency(1, 400) == 500
+        default = TopologyConfig(num_devices=2)
+        assert default.bw_ratio(1, 1 / 16) == 1 / 16
+        assert default.latency(0, 400) == 400
+
+    def test_with_cxl_devices(self):
+        cfg = SystemConfig.bench().with_cxl_devices(4, sharding="range")
+        assert cfg.topology.num_devices == 4
+        assert cfg.topology.sharding == "range"
+        # A topology change must change the config fingerprint (cache key).
+        assert cfg.fingerprint() != SystemConfig.bench().fingerprint()
+
+
+# ---------------------------------------------------------------- shard math
+@st.composite
+def shard_maps(draw):
+    num_devices = draw(st.integers(min_value=1, max_value=4))
+    policy = draw(st.sampled_from(["page", "range"]))
+    total_pages = draw(st.integers(min_value=num_devices, max_value=4096))
+    return ShardMap(
+        geometry=DEFAULT_GEOMETRY,
+        num_devices=num_devices,
+        policy=policy,
+        total_pages=total_pages,
+    )
+
+
+class TestShardProperties:
+    @given(shard=shard_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_total_partition(self, shard):
+        """Every page has exactly one home device within the fabric."""
+        for page in range(shard.total_pages):
+            home = shard.home_of_page(page)
+            assert 0 <= home < shard.num_devices
+
+    @given(shard=shard_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_pages_on_is_exact(self, shard):
+        """pages_on(d) agrees with brute-force counting, and sums to total."""
+        counts = Counter(
+            shard.home_of_page(p) for p in range(shard.total_pages)
+        )
+        assert sum(
+            shard.pages_on(d) for d in range(shard.num_devices)
+        ) == shard.total_pages
+        for d in range(shard.num_devices):
+            assert shard.pages_on(d) == counts.get(d, 0)
+
+    @given(shard=shard_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_balance(self, shard):
+        """Page policy balances within one page; range within one span."""
+        counts = [shard.pages_on(d) for d in range(shard.num_devices)]
+        if shard.policy == "page":
+            assert max(counts) - min(counts) <= 1
+        else:
+            span = -(-shard.total_pages // shard.num_devices)
+            assert max(counts) <= span
+
+    @given(shard=shard_maps())
+    @settings(max_examples=40, deadline=None)
+    def test_local_page_is_bijection(self, shard):
+        """local_page maps each device's homed pages 1:1 onto its slice."""
+        per_device = {d: set() for d in range(shard.num_devices)}
+        for page in range(shard.total_pages):
+            d = shard.home_of_page(page)
+            local = shard.local_page(page)
+            assert local not in per_device[d]
+            per_device[d].add(local)
+        for d, locals_ in per_device.items():
+            assert locals_ == set(range(shard.pages_on(d)))
+
+    @given(shard=shard_maps(), sector=st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_home_of_addr_matches_page(self, shard, sector):
+        addr = sector * DEFAULT_GEOMETRY.sector_bytes
+        assert shard.home_of_addr(addr) == shard.home_of_page(
+            addr // DEFAULT_GEOMETRY.page_bytes
+        )
+
+    def test_negative_page_rejected(self):
+        shard = ShardMap(geometry=DEFAULT_GEOMETRY, num_devices=2, total_pages=8)
+        with pytest.raises(AddressError):
+            shard.home_of_page(-1)
+        with pytest.raises(AddressError):
+            shard.local_page(-1)
+
+    @given(
+        num_channels=st.sampled_from([4, 8, 16]),
+        frame=st.integers(min_value=0, max_value=256),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interleaver_covers_all_channels(self, num_channels, frame):
+        """Chunk placement of any frame reaches every device channel."""
+        il = Interleaver(DEFAULT_GEOMETRY, num_channels=num_channels)
+        channels = {
+            il.device_chunk_location(frame, c)[0]
+            for c in range(DEFAULT_GEOMETRY.chunks_per_page)
+        }
+        assert channels == set(range(num_channels))
+
+
+# ---------------------------------------------------- behavior preservation
+def _load_bench_perf_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_perf", REPO_ROOT / "scripts" / "bench_perf.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSizeOnePreservation:
+    def test_explicit_size1_topology_is_bit_identical(self):
+        """Explicit TopologyConfig(1) == default config, run for run."""
+        base = SystemConfig.bench()
+        explicit = base.with_topology(
+            TopologyConfig(num_devices=1, sharding="page")
+        )
+        trace = build_trace(
+            "backprop", n_accesses=1_500, seed=7, num_sms=base.gpu.num_sms
+        )
+        for model in ("nosec", "baseline", "salus"):
+            a = run_model(base, trace, model)
+            b = run_model(explicit, trace, model)
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_quick_sweep_reproduces_recorded_fingerprints(self):
+        """The refactor rides under the established perf/fingerprint gate:
+        the quick sweep's RunResult sha-256 fingerprints must equal the
+        entries recorded in BENCH_perf.json before the topology layer
+        existed."""
+        bench_perf = _load_bench_perf_module()
+        store = bench_perf.load_store(REPO_ROOT / "BENCH_perf.json")
+        spec = bench_perf.sweep_spec(quick=True)
+        ref = bench_perf.find_entry(store, spec["name"], "baseline")
+        assert ref is not None, "BENCH_perf.json lacks the quick/baseline entry"
+        jobs = bench_perf.run_sweep(spec)
+        assert set(jobs) == set(ref["jobs"])
+        for label, job in jobs.items():
+            assert job["fingerprint"] == ref["jobs"][label]["fingerprint"], (
+                f"{label}: fingerprint diverged from recorded baseline"
+            )
+
+
+class TestMultiDeviceRuns:
+    def test_two_device_run_publishes_per_device_metrics(self):
+        cfg = SystemConfig.bench().with_cxl_devices(2)
+        trace = build_trace(
+            "backprop", n_accesses=1_500, seed=7, num_sms=cfg.gpu.num_sms
+        )
+        result = run_model(cfg, trace, "salus")
+        for d in range(2):
+            assert f"cxl.dev{d}.link_bytes" in result.metrics
+            assert f"migration.dev{d}.fills" in result.metrics
+        # Round-robin sharding touches both links.
+        assert result.metrics["cxl.dev0.link_bytes"] > 0
+        assert result.metrics["cxl.dev1.link_bytes"] > 0
+        # Per-device fills sum to the engine total.
+        assert (
+            result.metrics["migration.dev0.fills"]
+            + result.metrics["migration.dev1.fills"]
+            == result.metrics["migration.fills"]
+        )
+        # Serialization survives the new namespaces.
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["metrics"]["cxl.dev1.link_bytes"] > 0
+
+    def test_single_device_tree_has_no_dev_namespaces(self):
+        """Size-1 metric trees keep the historical layout exactly."""
+        cfg = SystemConfig.bench()
+        trace = build_trace(
+            "backprop", n_accesses=1_000, seed=7, num_sms=cfg.gpu.num_sms
+        )
+        result = run_model(cfg, trace, "salus")
+        assert not any(".dev0." in key for key in result.metrics)
+        assert not any(key.startswith("migration.dev") for key in result.metrics)
+
+    def test_range_sharding_runs_all_models(self):
+        cfg = SystemConfig.bench().with_cxl_devices(2, sharding="range")
+        trace = build_trace(
+            "backprop", n_accesses=1_000, seed=7, num_sms=cfg.gpu.num_sms
+        )
+        for model in ("nosec", "baseline", "salus"):
+            result = run_model(cfg, trace, model)
+            assert result.stats.final_cycle > 0
