@@ -73,8 +73,9 @@ def sweep_spec(quick: bool, accesses: int = 0, seed: int = DEFAULT_SEED) -> dict
     }
 
 
-def run_sweep(spec: dict, repeats: int = 1) -> dict:
-    """Execute the sweep serially; returns {job_label: measurement}.
+def run_sweep(spec: dict, repeats: int = 1) -> tuple:
+    """Execute the sweep serially; returns ({job_label: measurement},
+    {job_label: RunResult}).
 
     Trace generation is excluded from the timed region; with ``repeats > 1``
     the minimum wall time per job is kept (the least-noise estimate) after
@@ -82,6 +83,7 @@ def run_sweep(spec: dict, repeats: int = 1) -> dict:
     """
     config = SystemConfig.bench()
     jobs = {}
+    results = {}
     for bench in spec["benches"]:
         trace = build_trace(
             bench,
@@ -113,13 +115,51 @@ def run_sweep(spec: dict, repeats: int = 1) -> dict:
                 "cycles": result.cycles,
                 "fingerprint": fingerprint,
             }
+            results[label] = result
             print(
                 f"  {label:<24} {best_wall:8.3f}s "
                 f"{jobs[label]['requests_per_sec']:>12,.0f} req/s "
                 f"{fingerprint[:12]}",
                 flush=True,
             )
-    return jobs
+    return jobs, results
+
+
+def result_filename(label: str) -> str:
+    """``bench/model`` -> the per-job dump/snapshot file name."""
+    return label.replace("/", "-") + ".json"
+
+
+def dump_results(results: dict, out_dir: Path) -> None:
+    """Write each RunResult as ``<dir>/<bench>-<model>.json``.
+
+    The dumps are ``repro diff``-able artifacts: on a fingerprint-gate
+    failure, diffing the live dump against the recorded snapshot of the
+    same job names the exact metrics/counters that moved.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for label, result in results.items():
+        path = out_dir / result_filename(label)
+        path.write_text(
+            json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def record_ledger(spec: dict, jobs: dict, results: dict, ledger_dir) -> None:
+    """Append the sweep's runs to the run ledger (``repro runs`` visibility)."""
+    from repro.harness.engine import SCHEMA_VERSION, JobOutcome, SimJob
+    from repro.harness.ledger import LedgerEntry, RunLedger
+
+    config = SystemConfig.bench()
+    ledger = RunLedger(ledger_dir)
+    for label, result in results.items():
+        bench, model = label.split("/", 1)
+        job = SimJob.of(config, bench, model, spec["accesses"], spec["seed"])
+        outcome = JobOutcome(
+            job, result=result, source="run", wall_s=jobs[label]["wall_s"]
+        )
+        ledger.append(LedgerEntry.from_outcome(outcome, SCHEMA_VERSION))
 
 
 def summarize(spec: dict, jobs: dict) -> dict:
@@ -200,6 +240,21 @@ def main(argv=None) -> int:
                         help="also fail unless throughput >= RATIO x reference")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"trajectory file (default {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--dump-results", type=Path, default=None,
+                        metavar="DIR",
+                        help="also write each live RunResult as "
+                             "DIR/<bench>-<model>.json ('repro diff' food)")
+    parser.add_argument("--snapshot-dir", type=Path,
+                        default=REPO_ROOT / "BENCH_snapshots",
+                        metavar="DIR",
+                        help="recorded per-job result snapshots; --record on "
+                             "the quick sweep refreshes DIR/quick/ "
+                             "(default BENCH_snapshots)")
+    parser.add_argument("--ledger-dir", default=None, metavar="DIR",
+                        help="run-ledger location (default: the repro cache "
+                             "dir, i.e. $REPRO_CACHE_DIR or .salus-cache)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not record the sweep in the run ledger")
     args = parser.parse_args(argv)
 
     spec = sweep_spec(args.quick, accesses=args.accesses, seed=args.seed)
@@ -208,13 +263,22 @@ def main(argv=None) -> int:
         f"{len(spec['models'])} models @ {spec['accesses']} accesses "
         f"(seed {spec['seed']})"
     )
-    jobs = run_sweep(spec, repeats=args.repeats)
+    jobs, results = run_sweep(spec, repeats=args.repeats)
     summary = summarize(spec, jobs)
     print(
         f"total: {summary['total_wall_s']:.2f}s for "
         f"{summary['total_requests']:,} requests -> "
         f"{summary['requests_per_sec']:,.0f} req/s"
     )
+
+    if args.dump_results:
+        dump_results(results, args.dump_results)
+        print(f"dumped {len(results)} result JSONs to {args.dump_results}/")
+    if not args.no_ledger:
+        from repro.harness.engine import default_cache_dir
+
+        ledger_dir = args.ledger_dir or default_cache_dir()
+        record_ledger(spec, jobs, results, ledger_dir)
 
     store = load_store(args.output)
     sweep_store = store["sweeps"].setdefault(
@@ -238,6 +302,11 @@ def main(argv=None) -> int:
             json.dumps(store, indent=1, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"recorded entry '{args.record}' in {args.output}")
+        if spec["name"] == "quick":
+            # Keep the diffable per-job snapshots in lockstep with the
+            # recorded fingerprints (CI diffs failures against these).
+            dump_results(results, args.snapshot_dir / "quick")
+            print(f"refreshed snapshots in {args.snapshot_dir / 'quick'}/")
         ref = find_entry(store, spec["name"], args.ref)
         if ref is not None and ref["label"] != args.record:
             return check_against(ref, jobs, summary, args.min_speedup)
@@ -250,7 +319,17 @@ def main(argv=None) -> int:
             f"{args.output}; record one with --record {args.ref}"
         )
         return 2
-    return check_against(ref, jobs, summary, args.min_speedup)
+    rc = check_against(ref, jobs, summary, args.min_speedup)
+    if rc == 1:
+        snap_dir = args.snapshot_dir / spec["name"]
+        if snap_dir.is_dir():
+            live = args.dump_results or "<DIR from --dump-results>"
+            print(
+                f"\nlocalize the drift (first differing metrics, per job):\n"
+                f"  repro diff {snap_dir}/<bench>-<model>.json "
+                f"{live}/<bench>-<model>.json"
+            )
+    return rc
 
 
 if __name__ == "__main__":

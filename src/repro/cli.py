@@ -28,11 +28,26 @@ a Chrome-trace ``trace.json``; with a positional output it keeps its
 original meaning, exporting the generated workload to ``.npz``. ``report``
 renders a ``repro run --json`` dump (or any list of serialized RunResults)
 as a markdown or CSV observability report.
+
+Observability commands (see docs/METRICS.md and docs/TRACING.md):
+
+* ``--progress`` on ``run``/``figure``/``figures`` renders live engine
+  telemetry (per-job heartbeats, done lines) to stderr when it is a TTY;
+  ``--progress-jsonl PATH`` writes the raw event stream as JSON lines
+  regardless of TTY. Both are observers - results are bit-identical with
+  them on or off.
+* Every completed job is recorded in the append-only run ledger
+  (``<cache-dir>/ledger.jsonl``; ``--no-ledger`` disables). ``repro runs``
+  lists/filters it; ``repro perf`` shows the recorded performance
+  trajectory and checks the ledger against it.
+* ``repro diff A B`` localizes the first divergence between two runs,
+  given two ``run --json`` dumps or two Chrome traces.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -118,13 +133,53 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", default="traces", metavar="DIR",
                         help="directory for per-simulation trace files "
                              "(default traces/; only with --trace)")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live engine telemetry to stderr "
+                             "(auto-disabled when stderr is not a TTY)")
+    parser.add_argument("--progress-jsonl", default=None, metavar="PATH",
+                        help="also write raw progress events as JSON lines "
+                             "(works without a TTY; for tooling/tests)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not record completed jobs in the run "
+                             "ledger (<cache-dir>/ledger.jsonl)")
 
 
-def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
+def _progress_sink(args: argparse.Namespace, total: Optional[int] = None):
+    """Resolve ``--progress``/``--progress-jsonl`` into one engine sink.
+
+    The terminal renderer attaches only when stderr is a TTY (so piped and
+    CI output stays clean); setting ``REPRO_FORCE_PROGRESS=1`` overrides
+    the TTY check, which is how tests drive the renderer. The JSONL sink is
+    TTY-independent.
+    """
+    from .harness.runner import (
+        ProgressJsonlWriter,
+        ProgressRenderer,
+        combine_progress_sinks,
+    )
+
+    renderer = None
+    if getattr(args, "progress", False):
+        if sys.stderr.isatty() or os.environ.get("REPRO_FORCE_PROGRESS"):
+            renderer = ProgressRenderer(total=total)
+    writer = None
+    if getattr(args, "progress_jsonl", None):
+        writer = ProgressJsonlWriter(args.progress_jsonl)
+    return combine_progress_sinks(renderer, writer)
+
+
+def _build_engine(
+    args: argparse.Namespace, total: Optional[int] = None
+) -> ExperimentEngine:
     cache_dir = None if args.no_cache else args.cache_dir
     trace_dir = args.trace_out if getattr(args, "trace", False) else None
+    ledger = False if getattr(args, "no_ledger", False) else None
     return ExperimentEngine(
-        jobs=max(1, args.jobs), cache_dir=cache_dir, trace_dir=trace_dir
+        jobs=max(1, args.jobs),
+        cache_dir=cache_dir,
+        trace_dir=trace_dir,
+        progress=_progress_sink(args, total=total),
+        ledger=ledger,
     )
 
 
@@ -154,6 +209,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """The ``run`` command: simulate one benchmark under chosen models."""
     config = _build_config(args)
+    engine = None
     if args.trace_file:
         from .workloads.io import load_trace
 
@@ -166,16 +222,33 @@ def cmd_run(args: argparse.Namespace) -> int:
             args.benchmark, n_accesses=args.accesses, seed=args.seed,
             num_sms=config.gpu.num_sms,
         )
+        engine = _build_engine(args, total=len(args.models))
         results = run_benchmark(
             config,
             TraceSpec(args.benchmark, args.accesses, args.seed),
             models=tuple(args.models),
-            engine=_build_engine(args),
+            engine=engine,
         )
     if args.json:
         import json
 
-        print(json.dumps([r.to_dict() for r in results.values()], indent=2))
+        # Execution provenance rides along as an "engine" sidecar key,
+        # outside the RunResult payload proper: from_dict ignores it, and
+        # result fingerprints (hashes of to_dict) never see it.
+        meta = {}
+        if engine is not None:
+            meta = {
+                o.job.model: {"source": o.source, "wall_s": round(o.wall_s, 6)}
+                for o in engine.last_outcomes
+                if o.ok
+            }
+        payload = []
+        for model, result in results.items():
+            entry = result.to_dict()
+            if model in meta:
+                entry["engine"] = meta[model]
+            payload.append(entry)
+        print(json.dumps(payload, indent=2))
         return 0
     basis = results.get("nosec")
     rows = []
@@ -254,6 +327,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         if isinstance(payload, dict):
             payload = [payload]
         results = [RunResult.from_dict(entry) for entry in payload]
+        engine_meta = [
+            entry.get("engine") if isinstance(entry, dict) else None
+            for entry in payload
+        ]
     except (OSError, ValueError, KeyError, TypeError) as exc:
         print(
             f"repro report: {args.results} is not a serialized RunResult "
@@ -264,7 +341,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.format == "csv":
         text = render_csv(results)
     else:
-        text = render_markdown_report(results)
+        text = render_markdown_report(results, engine_meta=engine_meta)
     if args.output:
         out = Path(args.output)
         out.write_text(text, encoding="utf-8")
@@ -360,6 +437,192 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_runs(args: argparse.Namespace) -> int:
+    """The ``runs`` command: list the run ledger (what ran, when, how fast)."""
+    from .harness.ledger import RunLedger
+
+    ledger = RunLedger(args.cache_dir)
+    entries = ledger.entries(
+        bench=args.bench, model=args.model, source=args.source,
+        limit=args.limit,
+    )
+    if args.json:
+        import json
+
+        from dataclasses import asdict
+
+        print(json.dumps([asdict(e) for e in entries], indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        where = ledger.path
+        print(f"no matching ledger entries in {where}")
+        print("(the ledger fills as 'repro run'/'repro figure' complete jobs"
+              " with a cache directory attached)")
+        return 0
+    rows = [
+        (
+            e.recorded or "?",
+            e.label(),
+            e.source,
+            f"{e.wall_s:.3f}",
+            e.ipc,
+            e.cycles,
+            e.result_fingerprint[:12],
+        )
+        for e in entries
+    ]
+    print(
+        format_table(
+            ("recorded", "run", "source", "wall_s", "ipc", "cycles",
+             "result_fp"),
+            rows,
+            title=f"run ledger: {ledger.path} "
+                  f"({len(entries)} shown of {len(ledger)})",
+        )
+    )
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """The ``perf`` command: recorded trajectory + ledger regression check.
+
+    Prints the performance trajectory recorded in ``BENCH_perf.json``
+    (one row per ``bench_perf.py --record`` entry, per sweep), then checks
+    the run ledger's latest simulated runs against the reference entry:
+    a result-fingerprint mismatch is behaviour drift (exit 1); a per-job
+    wall time beyond ``--threshold`` times the recorded one is flagged as a
+    perf regression (exit 1 too - raise the threshold or re-record).
+    """
+    import json
+    from pathlib import Path
+
+    from .harness.ledger import RunLedger
+
+    path = Path(args.file)
+    try:
+        store = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"repro perf: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    sweeps = store.get("sweeps", {})
+    if not sweeps:
+        print(f"repro perf: no recorded sweeps in {path}", file=sys.stderr)
+        return 2
+
+    for sweep_name in sorted(sweeps):
+        if args.sweep and sweep_name != args.sweep:
+            continue
+        sweep = sweeps[sweep_name]
+        entries = sweep.get("entries", [])
+        if not entries:
+            continue
+        base = entries[0]["summary"]["requests_per_sec"]
+        rows = [
+            (
+                e["label"],
+                e.get("recorded", "?"),
+                e["summary"]["total_wall_s"],
+                f"{e['summary']['requests_per_sec']:,.0f}",
+                e["summary"]["requests_per_sec"] / base,
+            )
+            for e in entries
+        ]
+        print(
+            format_table(
+                ("entry", "recorded", "wall_s", "req/s", "vs_first"),
+                rows,
+                title=f"sweep '{sweep_name}': "
+                      f"{len(sweep.get('benches', []))} benches @ "
+                      f"{sweep.get('accesses')} accesses, "
+                      f"seed {sweep.get('seed')}",
+            )
+        )
+        print()
+
+    # Ledger vs reference: latest simulated ("run") ledger entry per job.
+    sweep_name = args.sweep or ("quick" if "quick" in sweeps else sorted(sweeps)[0])
+    sweep = sweeps.get(sweep_name, {})
+    ref = next(
+        (e for e in sweep.get("entries", []) if e["label"] == args.ref), None
+    )
+    if ref is None:
+        print(
+            f"no reference entry '{args.ref}' recorded for sweep "
+            f"'{sweep_name}'; skipping ledger check"
+        )
+        return 0
+    ledger = RunLedger(args.cache_dir)
+    latest = {}
+    for entry in ledger.entries(source="run"):
+        if entry.n_accesses == sweep.get("accesses") and entry.seed == sweep.get("seed"):
+            latest[f"{entry.bench}/{entry.model}"] = entry
+    if not latest:
+        print(
+            f"ledger {ledger.path} has no simulated runs matching sweep "
+            f"'{sweep_name}' (@{sweep.get('accesses')} accesses, "
+            f"seed {sweep.get('seed')}); run the sweep first"
+        )
+        return 0
+    drift = []
+    slow = []
+    rows = []
+    for label, entry in sorted(latest.items()):
+        ref_job = ref["jobs"].get(label)
+        if ref_job is None:
+            continue
+        fp_ok = ref_job["fingerprint"] == entry.result_fingerprint
+        ratio = (entry.wall_s / ref_job["wall_s"]) if ref_job["wall_s"] else 0.0
+        verdict = "ok"
+        if not fp_ok:
+            verdict = "FINGERPRINT DRIFT"
+            drift.append(label)
+        elif args.threshold and ratio > args.threshold:
+            verdict = f"slow ({ratio:.2f}x)"
+            slow.append(label)
+        rows.append(
+            (label, f"{ref_job['wall_s']:.3f}", f"{entry.wall_s:.3f}",
+             ratio, verdict)
+        )
+    print(
+        format_table(
+            ("job", "ref_wall_s", "ledger_wall_s", "ratio", "verdict"),
+            rows,
+            title=f"ledger vs '{args.ref}' ({sweep_name} sweep)",
+        )
+    )
+    if drift:
+        print(
+            f"\nBEHAVIOUR DRIFT: {len(drift)} job(s) no longer fingerprint-"
+            f"identical to '{args.ref}': {', '.join(drift)}"
+        )
+        print("localize with: repro diff <recorded result> <live result>")
+        return 1
+    if slow:
+        print(
+            f"\nPERF REGRESSION: {len(slow)} job(s) beyond "
+            f"{args.threshold:.2f}x the recorded wall time: {', '.join(slow)}"
+        )
+        return 1
+    print(f"\nledger agrees with '{args.ref}': {len(rows)} job(s) checked")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """The ``diff`` command: first divergence between two run artifacts."""
+    from .harness.diff import DiffError, diff_paths
+
+    try:
+        outcome = diff_paths(
+            args.a, args.b, pick=args.pick, context=args.context,
+            max_leaves=args.max_leaves,
+        )
+    except DiffError as exc:
+        print(f"repro diff: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.text)
+    return 0 if outcome.identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -419,6 +682,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-o", "--output", default=None,
                           help="write the report to a file instead of stdout")
     p_report.set_defaults(func=cmd_report)
+
+    p_runs = sub.add_parser(
+        "runs", help="list the run ledger (completed simulations, by recency)"
+    )
+    p_runs.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="cache directory holding ledger.jsonl, or a "
+                             "direct *.jsonl path (default .salus-cache)")
+    p_runs.add_argument("--bench", default=None, help="filter by benchmark")
+    p_runs.add_argument("--model", default=None, help="filter by model")
+    p_runs.add_argument("--source", default=None,
+                        choices=("run", "disk", "memory"),
+                        help="filter by how the result was obtained")
+    p_runs.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="show the latest N matches (default 20)")
+    p_runs.add_argument("--json", action="store_true",
+                        help="emit the matching entries as JSON")
+    p_runs.set_defaults(func=cmd_runs)
+
+    p_perf = sub.add_parser(
+        "perf", help="show the recorded perf trajectory and check the "
+                     "ledger against it"
+    )
+    p_perf.add_argument("--file", default="BENCH_perf.json",
+                        help="trajectory file (default BENCH_perf.json)")
+    p_perf.add_argument("--sweep", default=None,
+                        help="restrict to one sweep (default: all tables, "
+                             "'quick' for the ledger check)")
+    p_perf.add_argument("--ref", default="post",
+                        help="reference entry label for the ledger check "
+                             "(default post)")
+    p_perf.add_argument("--threshold", type=float, default=0.0,
+                        metavar="RATIO",
+                        help="flag jobs whose ledger wall time exceeds "
+                             "RATIO x the recorded one (default off)")
+    p_perf.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="cache directory holding ledger.jsonl "
+                             "(default .salus-cache)")
+    p_perf.set_defaults(func=cmd_perf)
+
+    p_diff = sub.add_parser(
+        "diff", help="first divergence between two runs (result JSONs or "
+                     "Chrome traces)"
+    )
+    p_diff.add_argument("a", help="first artifact: 'run --json' dump or "
+                                  "Chrome trace")
+    p_diff.add_argument("b", help="second artifact (same kind as the first)")
+    p_diff.add_argument("--pick", default=None, metavar="WORKLOAD/MODEL",
+                        help="diff only this run when files hold several")
+    p_diff.add_argument("--context", type=int, default=5, metavar="N",
+                        help="aligned events shown before a trace "
+                             "divergence (default 5)")
+    p_diff.add_argument("--max-leaves", type=int, default=40, metavar="N",
+                        help="differing metric leaves listed per report "
+                             "(default 40)")
+    p_diff.set_defaults(func=cmd_diff)
 
     p_topo = sub.add_parser(
         "topology", help="print the resolved multi-device CXL fabric layout"

@@ -23,7 +23,7 @@ figure of the paper is produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..config import SystemConfig
 from ..cxl.mapping import MappingTable
@@ -140,6 +140,12 @@ class RunResult:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Default heartbeat epoch (simulated cycles) for progress callbacks. An
+#: order of magnitude coarser than the tracer's sample epoch: heartbeats
+#: cross process boundaries, samples stay in-process.
+DEFAULT_PROGRESS_EPOCH = 50_000
+
+
 class GpuSim:
     """Trace-driven simulation of one system configuration."""
 
@@ -149,12 +155,22 @@ class GpuSim:
         footprint_pages: int,
         model_factory,
         tracer: Optional[Tracer] = None,
+        progress: Optional[Callable[[Dict[str, int]], None]] = None,
+        progress_epoch: int = DEFAULT_PROGRESS_EPOCH,
     ) -> None:
         """``model_factory(fabric) -> TimingSecurityModel`` builds the
         security personality against this run's fabric. ``tracer`` (optional)
         receives the structured event stream; with the default
         ``NULL_TRACER`` every instrumentation site is a single attribute
-        check and simulated timing is bit-identical either way."""
+        check and simulated timing is bit-identical either way.
+
+        ``progress`` (optional) is the live-telemetry heartbeat: every
+        ``progress_epoch`` simulated cycles it receives a snapshot dict
+        (``cycles``, ``instructions``, ``fills``, ``evictions``,
+        ``epoch``). Like the tracer, it *observes* the simulation and books
+        nothing - enabling it is proven fingerprint-inert by test - and the
+        untraced, progress-free hot path is untouched (no event queue is
+        even created)."""
         self.config = config
         self.geometry = config.geometry
         self.stats = StatRegistry()
@@ -194,14 +210,23 @@ class GpuSim:
             num_devices=self.fabric.num_devices,
         )
         self._now = 0  # advances with issue order; used by posted eviction work
-        # Per-epoch metric sampling (observability layer): only when tracing,
-        # so the untraced hot path never touches the event queue.
+        # Per-epoch metric sampling (observability layer) and progress
+        # heartbeats share one event queue; it exists only when at least one
+        # observer asked for it, so the plain hot path never touches it.
         self._sample_queue: Optional[EventQueue] = None
         self._sampler: Optional[PeriodicSampler] = None
-        if self.tracer.enabled:
+        self._progress = progress
+        self._progress_sampler: Optional[PeriodicSampler] = None
+        self._progress_epochs = 0
+        if self.tracer.enabled or progress is not None:
             self._sample_queue = EventQueue()
+        if self.tracer.enabled:
             self._sampler = PeriodicSampler(
                 self._sample_queue, self.tracer.sample_epoch, self._sample_metrics
+            )
+        if progress is not None:
+            self._progress_sampler = PeriodicSampler(
+                self._sample_queue, max(1, int(progress_epoch)), self._emit_progress
             )
         # Demand chunk-fill state (fill_granularity="chunk"): which chunks
         # of each resident page have arrived, and in-flight chunk copies.
@@ -233,6 +258,27 @@ class GpuSim:
             "migration", now,
             {"fills": self.engine.fill_count, "evictions": self.engine.evict_count},
         )
+
+    def _emit_progress(self, now: int) -> None:
+        """Heartbeat callback: snapshot the live run for the telemetry sink.
+
+        Read-only by construction - it sums counters the simulation already
+        maintains and hands the dict to the callback; nothing here can move
+        simulated time or traffic.
+        """
+        self._progress_epochs += 1
+        snapshot = {
+            "epoch": self._progress_epochs,
+            "cycles": now,
+            "instructions": sum(sm.instructions for sm in self.sms),
+            "fills": self.engine.fill_count,
+            "evictions": self.engine.evict_count,
+        }
+        try:
+            self._progress(snapshot)
+        except Exception:
+            # A broken telemetry sink must never kill (or alter) the run.
+            pass
 
     # ------------------------------------------------------------------ fills
     def _fill_page(self, now: int, page: int, frame: int) -> int:
@@ -430,6 +476,9 @@ class GpuSim:
             self._sample_queue.run(until=final)
             if self._sampler is not None:
                 self._sampler.stop()
+            if self._progress_sampler is not None:
+                self._progress_sampler.stop()
+                self._emit_progress(final)
         self.model.finalize(final)
         self.stats.final_cycle = final
         self.stats.instructions = sum(sm.instructions for sm in self.sms)

@@ -5,7 +5,9 @@
 persistent result cache); :mod:`repro.harness.experiments` defines each
 figure's sweep and returns the rows the paper plots;
 :mod:`repro.harness.report` renders them as aligned text tables for the
-benchmark output.
+benchmark output; :mod:`repro.harness.ledger` keeps the append-only
+registry of completed runs; :mod:`repro.harness.diff` localizes the first
+divergence between two runs.
 """
 
 from .runner import MODEL_NAMES, model_factory, run_benchmark, run_model
@@ -30,18 +32,24 @@ from .experiments import (
     run_fig14_footprint,
 )
 from .report import format_table, geomean
+from .ledger import LedgerEntry, RunLedger
+from .diff import DiffOutcome, diff_paths
 
 __all__ = [
     "AblationResult",
+    "DiffOutcome",
     "ExperimentEngine",
     "FigureResult",
     "JobOutcome",
+    "LedgerEntry",
     "MODEL_NAMES",
     "ResultCache",
+    "RunLedger",
     "SCHEMA_VERSION",
     "SimJob",
     "TraceSpec",
     "default_engine",
+    "diff_paths",
     "format_table",
     "geomean",
     "model_factory",

@@ -1,0 +1,335 @@
+"""First-divergence diffing between two runs (``repro diff A B``).
+
+The determinism contract makes "the fingerprints differ" a strong signal -
+and a useless lead: sha-256 says *that* two runs diverged, never *where*.
+This module turns a failed fingerprint gate into a pointed one by comparing
+the two runs' deterministic artifacts directly:
+
+* **Result diffs** - two serialized :class:`~repro.gpu.gpusim.RunResult`
+  payloads (``repro run --json`` dumps, result-cache entries, or
+  ``bench_perf.py --dump-results`` files). The report lists the differing
+  summary fields, then the *subtree of differing metric leaves* (via
+  :func:`repro.sim.metrics.diff_trees`), the model/event counters and the
+  side.category traffic tallies that moved - sorted, grouped, and truncated
+  to stay readable.
+* **Trace diffs** - two Chrome-trace exports from
+  :mod:`repro.sim.trace`. Event streams are insertion-ordered and
+  byte-deterministic, so the two streams of an identical simulation match
+  element-wise; the first position where they disagree *is* the first
+  behavioural divergence. The report names that exact event on both sides
+  with a window of surrounding context.
+
+Inputs are auto-detected by shape (``traceEvents`` key = Chrome trace;
+otherwise one RunResult dict or a list of them, paired by
+``workload/model``). Everything here is read-only and deterministic: the
+same two files always render the same report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from ..sim.metrics import diff_trees, group_diffs_by_subtree
+from ..sim.trace import (
+    first_event_divergence,
+    normalized_events,
+    render_normalized_event,
+)
+
+
+class DiffError(ReproError):
+    """Unusable diff input (unreadable file, unrecognized payload shape)."""
+
+
+#: Scalar fields of a serialized RunResult compared in the summary table.
+SUMMARY_FIELDS = (
+    "workload",
+    "model",
+    "ipc",
+    "cycles",
+    "instructions",
+    "fills",
+    "evictions",
+    "security_bytes",
+)
+
+#: Leading context events shown on each side of a trace divergence.
+DEFAULT_CONTEXT = 5
+
+#: Differing metric leaves rendered per report before truncation.
+DEFAULT_MAX_LEAVES = 40
+
+
+def load_payload(path: Union[str, Path]) -> Tuple[str, object]:
+    """Read and classify one diff input.
+
+    Returns ``("trace", payload_dict)`` for a Chrome-trace export or
+    ``("results", [result_dict, ...])`` for serialized RunResults (a single
+    dict is wrapped). Raises :class:`DiffError` otherwise.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise DiffError(f"{path}: not readable JSON: {exc}") from exc
+    if isinstance(data, dict) and "traceEvents" in data:
+        return "trace", data
+    if isinstance(data, dict):
+        data = [data]
+    if isinstance(data, list) and data and all(
+        isinstance(e, dict) and "model" in e and "workload" in e for e in data
+    ):
+        return "results", data
+    raise DiffError(
+        f"{path}: neither a Chrome trace (traceEvents) nor serialized "
+        f"RunResults ('repro run --json' output)"
+    )
+
+
+# -- result diffing ----------------------------------------------------------
+
+@dataclass
+class ResultDiff:
+    """Everything that differs between two serialized RunResults."""
+
+    label_a: str
+    label_b: str
+    summary: List[Tuple[str, object, object]] = field(default_factory=list)
+    metrics: Dict[str, Tuple] = field(default_factory=dict)
+    counters: Dict[str, Tuple] = field(default_factory=dict)
+    traffic: Dict[str, Tuple] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return not (self.summary or self.metrics or self.counters or self.traffic)
+
+    def first_metric(self) -> Optional[str]:
+        """The first (sorted) differing metric leaf - the headline lead."""
+        return next(iter(self.metrics), None)
+
+    def render(self, max_leaves: int = DEFAULT_MAX_LEAVES) -> str:
+        head = f"results: {self.label_a}  vs  {self.label_b}"
+        if self.identical:
+            return f"{head}\n  identical (all summary fields, metrics, counters and traffic tallies agree)"
+        lines = [head]
+        if self.summary:
+            lines.append("  summary fields:")
+            for name, va, vb in self.summary:
+                lines.append(f"    {name:<18} {_fmt(va):>16}  ->  {_fmt(vb)}")
+        if self.traffic:
+            lines.append("  traffic tallies (side.category bytes):")
+            for name, (va, vb) in self.traffic.items():
+                lines.append(f"    {name:<24} {_fmt(va):>16}  ->  {_fmt(vb)}")
+        if self.metrics:
+            lines.append(
+                f"  differing metric leaves ({len(self.metrics)} total), "
+                f"grouped by subtree:"
+            )
+            shown = 0
+            for prefix, members in group_diffs_by_subtree(self.metrics).items():
+                lines.append(f"    [{prefix}]")
+                for name, (va, vb) in members.items():
+                    if shown >= max_leaves:
+                        break
+                    lines.append(f"      {name:<38} {_fmt(va):>16}  ->  {_fmt(vb)}")
+                    shown += 1
+                if shown >= max_leaves:
+                    lines.append(
+                        f"    ... {len(self.metrics) - shown} more leaves "
+                        f"(rerun with --max-leaves to widen)"
+                    )
+                    break
+        if self.counters:
+            lines.append("  counters:")
+            for name, (va, vb) in list(self.counters.items())[:max_leaves]:
+                lines.append(f"    {name:<38} {_fmt(va):>16}  ->  {_fmt(vb)}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "<absent>"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _numeric_view(mapping: object) -> Dict[str, object]:
+    return dict(mapping) if isinstance(mapping, dict) else {}
+
+
+def diff_result_dicts(
+    a: Dict, b: Dict, label_a: str = "A", label_b: str = "B"
+) -> ResultDiff:
+    """Compare two serialized RunResult payloads field by field."""
+    diff = ResultDiff(label_a=label_a, label_b=label_b)
+    for name in SUMMARY_FIELDS:
+        va, vb = a.get(name), b.get(name)
+        if va != vb:
+            diff.summary.append((name, va, vb))
+    diff.metrics = diff_trees(_numeric_view(a.get("metrics")), _numeric_view(b.get("metrics")))
+    diff.counters = diff_trees(_numeric_view(a.get("counters")), _numeric_view(b.get("counters")))
+    stats_a, stats_b = a.get("stats", {}), b.get("stats", {})
+    diff.traffic = diff_trees(
+        _numeric_view(stats_a.get("traffic_bytes", a.get("traffic_bytes"))),
+        _numeric_view(stats_b.get("traffic_bytes", b.get("traffic_bytes"))),
+    )
+    # Event counters tallied on the registry (chunk fills etc.) that are not
+    # part of the merged RunResult.counters namespace.
+    stat_counters = diff_trees(
+        _numeric_view(stats_a.get("counters")), _numeric_view(stats_b.get("counters"))
+    )
+    for key, pair in stat_counters.items():
+        diff.counters.setdefault(key, pair)
+    return diff
+
+
+def pair_results(
+    a: Sequence[Dict], b: Sequence[Dict], pick: Optional[str] = None
+) -> List[Tuple[Dict, Dict, str]]:
+    """Match two RunResult lists into ``(a, b, label)`` diff pairs.
+
+    Results are keyed by ``workload/model``; keys present on both sides are
+    paired (singletons pair directly even under different keys, which is
+    what comparing e.g. two models of one workload means). ``pick``
+    restricts to one ``workload/model`` key.
+    """
+    if len(a) == 1 and len(b) == 1 and pick is None:
+        return [(a[0], b[0], _result_key(a[0]))]
+    index_a = {_result_key(r): r for r in a}
+    index_b = {_result_key(r): r for r in b}
+    keys = [k for k in index_a if k in index_b]
+    if pick is not None:
+        keys = [k for k in keys if k == pick]
+        if not keys:
+            raise DiffError(
+                f"no common run named {pick!r}; common runs: "
+                f"{sorted(set(index_a) & set(index_b)) or 'none'}"
+            )
+    if not keys:
+        raise DiffError(
+            f"no common workload/model pairs to diff "
+            f"(A has {sorted(index_a)}, B has {sorted(index_b)})"
+        )
+    return [(index_a[k], index_b[k], k) for k in keys]
+
+
+def _result_key(result: Dict) -> str:
+    return f"{result.get('workload')}/{result.get('model')}"
+
+
+# -- trace diffing -----------------------------------------------------------
+
+@dataclass
+class TraceDiff:
+    """First divergence between two Chrome-trace event streams."""
+
+    label_a: str
+    label_b: str
+    index: Optional[int]
+    event_a: Optional[tuple]
+    event_b: Optional[tuple]
+    context: List[tuple] = field(default_factory=list)
+    total_a: int = 0
+    total_b: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return self.index is None
+
+    def render(self) -> str:
+        head = f"traces: {self.label_a}  vs  {self.label_b}"
+        if self.identical:
+            return (
+                f"{head}\n  identical ({self.total_a} events align "
+                f"element-wise)"
+            )
+        lines = [
+            head,
+            f"  streams diverge at event index {self.index} "
+            f"(A has {self.total_a} events, B has {self.total_b}):",
+        ]
+        if self.context:
+            lines.append(f"  shared context (last {len(self.context)} aligned events):")
+            for offset, event in enumerate(self.context):
+                idx = self.index - len(self.context) + offset
+                lines.append(f"    [{idx}] {render_normalized_event(event)}")
+        lines.append(f"  first divergence:")
+        lines.append(f"    A[{self.index}]: {render_normalized_event(self.event_a)}")
+        lines.append(f"    B[{self.index}]: {render_normalized_event(self.event_b)}")
+        return "\n".join(lines)
+
+
+def diff_chrome_traces(
+    a: Dict,
+    b: Dict,
+    label_a: str = "A",
+    label_b: str = "B",
+    context: int = DEFAULT_CONTEXT,
+) -> TraceDiff:
+    """Align two Chrome-trace exports; report the first differing event."""
+    events_a = normalized_events(a)
+    events_b = normalized_events(b)
+    index = first_event_divergence(events_a, events_b)
+    if index is None:
+        return TraceDiff(label_a, label_b, None, None, None,
+                         total_a=len(events_a), total_b=len(events_b))
+    lo = max(0, index - max(0, context))
+    return TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        index=index,
+        event_a=events_a[index] if index < len(events_a) else None,
+        event_b=events_b[index] if index < len(events_b) else None,
+        context=events_a[lo:index],
+        total_a=len(events_a),
+        total_b=len(events_b),
+    )
+
+
+# -- top level ---------------------------------------------------------------
+
+@dataclass
+class DiffOutcome:
+    """What ``repro diff`` prints, plus the one bit gates care about."""
+
+    identical: bool
+    text: str
+
+
+def diff_paths(
+    path_a: Union[str, Path],
+    path_b: Union[str, Path],
+    pick: Optional[str] = None,
+    context: int = DEFAULT_CONTEXT,
+    max_leaves: int = DEFAULT_MAX_LEAVES,
+) -> DiffOutcome:
+    """Diff two run artifacts (result JSONs or Chrome traces) by path."""
+    kind_a, payload_a = load_payload(path_a)
+    kind_b, payload_b = load_payload(path_b)
+    if kind_a != kind_b:
+        raise DiffError(
+            f"cannot diff a {kind_a} file against a {kind_b} file "
+            f"({path_a} vs {path_b})"
+        )
+    label_a, label_b = str(path_a), str(path_b)
+    if kind_a == "trace":
+        trace_diff = diff_chrome_traces(
+            payload_a, payload_b, label_a, label_b, context=context
+        )
+        return DiffOutcome(trace_diff.identical, trace_diff.render())
+
+    pairs = pair_results(payload_a, payload_b, pick=pick)
+    blocks: List[str] = []
+    identical = True
+    for entry_a, entry_b, key in pairs:
+        result_diff = diff_result_dicts(
+            entry_a, entry_b, f"{label_a}:{key}", f"{label_b}:{key}"
+        )
+        identical = identical and result_diff.identical
+        blocks.append(result_diff.render(max_leaves=max_leaves))
+    return DiffOutcome(identical, "\n\n".join(blocks))

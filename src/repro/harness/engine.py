@@ -35,18 +35,22 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import queue as queue_module
 import shutil
+import threading
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig
 from ..errors import EngineError
-from ..gpu.gpusim import RunResult
+from ..gpu.gpusim import DEFAULT_PROGRESS_EPOCH, RunResult
 from ..workloads.suite import build_trace
 from ..workloads.trace import Trace
+from .ledger import LedgerEntry, RunLedger
 from .runner import run_model
 
 #: Version of the (simulator semantics, result JSON) contract baked into
@@ -143,10 +147,16 @@ class SimJob:
             "config_fingerprint": self.config.fingerprint(),
         }
 
-    def execute(self, tracer=None) -> RunResult:
+    def execute(
+        self,
+        tracer=None,
+        progress=None,
+        progress_epoch: int = DEFAULT_PROGRESS_EPOCH,
+    ) -> RunResult:
         """Run the simulation (in whatever process this is called from)."""
         return run_model(
-            self.config, self.trace.build(self.config), self.model, tracer=tracer
+            self.config, self.trace.build(self.config), self.model,
+            tracer=tracer, progress=progress, progress_epoch=progress_epoch,
         )
 
     def trace_filename(self) -> str:
@@ -160,12 +170,18 @@ class SimJob:
 
 @dataclass
 class JobOutcome:
-    """What happened to one job of a batch."""
+    """What happened to one job of a batch.
+
+    ``wall_s`` is the wall-clock cost of obtaining the result: the timed
+    simulation for ``source="run"`` (measured inside the worker, so pool
+    scheduling overhead is excluded), ~0 for cache hits.
+    """
 
     job: SimJob
     result: Optional[RunResult] = None
     error: Optional[str] = None
     source: str = "run"  # "memory" | "disk" | "run"
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -249,29 +265,129 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
 
-def _execute_job(job: SimJob, trace_path: Optional[str] = None) -> Tuple[bool, object]:
+class _CallbackSink:
+    """Duck-typed stand-in for a multiprocessing queue on the serial path.
+
+    The worker code only calls ``.put(event)``; in-process execution (the
+    default, and the fallback when no pool is available) delivers events
+    straight to the engine's progress callback with no queue, no thread and
+    no pickling.
+    """
+
+    def __init__(self, callback: Callable[[Dict], None]) -> None:
+        self._callback = callback
+
+    def put(self, event: Dict) -> None:
+        try:
+            self._callback(event)
+        except Exception:
+            # A broken sink must never kill a simulation.
+            pass
+
+
+class _QueueDrainer:
+    """Parent-side pump: multiprocessing progress queue -> callback.
+
+    Runs on a daemon thread for the lifetime of one parallel batch (the
+    ``pool.map`` call blocks the engine thread, so delivery has to happen
+    off-thread). ``finish()`` posts a sentinel and joins, draining whatever
+    the workers sent before the pool closed.
+    """
+
+    _SENTINEL = None
+
+    def __init__(self, events, callback: Callable[[Dict], None]) -> None:
+        self._events = events
+        self._callback = callback
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            try:
+                event = self._events.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            except (EOFError, OSError):
+                return
+            if event is self._SENTINEL:
+                return
+            try:
+                self._callback(event)
+            except Exception:
+                pass
+
+    def finish(self) -> None:
+        try:
+            self._events.put(self._SENTINEL)
+        except Exception:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+def _progress_sink_callback(events, label: str, pid: int):
+    """The per-job heartbeat closure handed to :func:`run_model`."""
+
+    def emit(snapshot: Dict) -> None:
+        event = {"kind": "heartbeat", "job": label, "pid": pid}
+        event.update(snapshot)
+        try:
+            events.put(event)
+        except Exception:
+            pass
+
+    return emit
+
+
+def _execute_job(
+    job: SimJob,
+    trace_path: Optional[str] = None,
+    progress_events=None,
+    progress_epoch: int = DEFAULT_PROGRESS_EPOCH,
+) -> Tuple[bool, object, float]:
     """Worker entry point: run one job, never raise.
 
-    Returns ``(True, RunResult)`` on success or ``(False, traceback_text)``
-    on failure, so a crashed simulation surfaces as data instead of killing
-    the pool or the batch. With ``trace_path`` set, the job runs under a
-    :class:`~repro.sim.trace.Tracer` and its Chrome trace is written there
-    (from whichever process executed it) before the result returns.
+    Returns ``(True, RunResult, wall_s)`` on success or ``(False,
+    traceback_text, wall_s)`` on failure, so a crashed simulation surfaces
+    as data instead of killing the pool or the batch. With ``trace_path``
+    set, the job runs under a :class:`~repro.sim.trace.Tracer` and its
+    Chrome trace is written there (from whichever process executed it)
+    before the result returns.
+
+    ``progress_events`` (anything with ``.put(dict)`` - a multiprocessing
+    queue proxy from the parallel path, a :class:`_CallbackSink` from the
+    serial one) receives a ``start`` event and per-epoch ``heartbeat``
+    events while the simulation runs; the parent emits the terminal
+    ``done``/``error`` event once the outcome is known.
     """
+    label = job.label()
+    progress = None
+    if progress_events is not None:
+        try:
+            progress_events.put({"kind": "start", "job": label, "pid": os.getpid()})
+        except Exception:
+            progress_events = None
+        else:
+            progress = _progress_sink_callback(progress_events, label, os.getpid())
+    started = time.perf_counter()
     try:
         if trace_path is not None:
             from ..sim.trace import Tracer
 
             tracer = Tracer()
-            result = job.execute(tracer=tracer)
+            result = job.execute(tracer=tracer, progress=progress,
+                                 progress_epoch=progress_epoch)
             tracer.write(trace_path)
-            return True, result
-        return True, job.execute()
+            return True, result, time.perf_counter() - started
+        result = job.execute(progress=progress, progress_epoch=progress_epoch)
+        return True, result, time.perf_counter() - started
     except Exception:
-        return False, traceback.format_exc()
+        return False, traceback.format_exc(), time.perf_counter() - started
 
 
-def _execute_job_entry(item: Tuple[SimJob, Optional[str]]) -> Tuple[bool, object]:
+def _execute_job_entry(
+    item: Tuple[SimJob, Optional[str], object, int]
+) -> Tuple[bool, object, float]:
     """Picklable star-apply wrapper for :func:`_execute_job` (pool.map)."""
     return _execute_job(*item)
 
@@ -290,6 +406,22 @@ class ExperimentEngine:
     it. Tracing forces fresh simulations (cache and memo lookups are
     skipped - a cache hit would have no timeline to export), but finished
     results are still written to the cache as usual.
+
+    ``progress`` attaches a live-telemetry sink: a callable receiving event
+    dicts (``start``/``heartbeat`` from whichever process runs each job,
+    ``done``/``error`` from the engine once the outcome is known; see
+    ``harness/runner.py`` for the shipped sinks). On the parallel path the
+    events cross process boundaries over a multiprocessing queue drained by
+    a parent-side thread; the serial path delivers them directly. Progress
+    never touches simulated state - fingerprints are bit-identical with it
+    on or off.
+
+    ``ledger`` controls the append-only run registry
+    (:class:`~repro.harness.ledger.RunLedger`): by default every completed
+    job is recorded in ``<cache_dir>/ledger.jsonl`` whenever a cache
+    directory is attached; pass ``False`` to disable, or ``True`` to force
+    (requires a cache dir). Ledger entries are derived *from* results and
+    never feed back into cache keys or fingerprints.
     """
 
     def __init__(
@@ -298,6 +430,9 @@ class ExperimentEngine:
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
         trace_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[Callable[[Dict], None]] = None,
+        progress_epoch: int = DEFAULT_PROGRESS_EPOCH,
+        ledger: Optional[bool] = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"worker count must be >= 1, got {jobs}")
@@ -306,7 +441,16 @@ class ExperimentEngine:
             ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
         )
         self.trace_dir: Optional[Path] = Path(trace_dir) if trace_dir is not None else None
+        self.progress = progress
+        self.progress_epoch = max(1, int(progress_epoch))
+        if ledger is True and cache_dir is None:
+            raise EngineError("ledger=True requires a cache directory")
+        want_ledger = cache_dir is not None if ledger is None else ledger
+        self.ledger: Optional[RunLedger] = (
+            RunLedger(cache_dir) if (want_ledger and cache_dir is not None) else None
+        )
         self.stats = EngineStats()
+        self.last_outcomes: List[JobOutcome] = []
         self._memo: Dict[SimJob, RunResult] = {}
 
     # -- execution ---------------------------------------------------------
@@ -334,29 +478,57 @@ class ExperimentEngine:
             if memoized is not None:
                 self.stats.memory_hits += 1
                 outcomes[job] = JobOutcome(job, result=memoized, source="memory")
+                self._emit_done(job.label(), True, "memory", 0.0)
                 continue
             cached = self.cache.get(fingerprint) if self.cache is not None else None
             if cached is not None:
                 self.stats.disk_hits += 1
                 self._memo[job] = cached
                 outcomes[job] = JobOutcome(job, result=cached, source="disk")
+                self._emit_done(job.label(), True, "disk", 0.0)
                 continue
             pending.append(job)
 
         if pending:
-            for job, (ok, payload) in zip(pending, self._execute_batch(pending)):
+            for job, (ok, payload, wall) in zip(pending, self._execute_batch(pending)):
                 self.stats.simulations += 1
                 if ok:
                     result = payload
                     self._memo[job] = result
                     if self.cache is not None:
                         self.cache.put(unique[job], job, result)
-                    outcomes[job] = JobOutcome(job, result=result, source="run")
+                    outcomes[job] = JobOutcome(
+                        job, result=result, source="run", wall_s=wall
+                    )
                 else:
                     self.stats.errors += 1
-                    outcomes[job] = JobOutcome(job, error=str(payload), source="run")
+                    outcomes[job] = JobOutcome(
+                        job, error=str(payload), source="run", wall_s=wall
+                    )
 
-        return [outcomes[job] for job in jobs]
+        if self.ledger is not None:
+            for outcome in outcomes.values():
+                if outcome.ok:
+                    self.ledger.append(LedgerEntry.from_outcome(outcome, SCHEMA_VERSION))
+
+        self.last_outcomes = [outcomes[job] for job in jobs]
+        return list(self.last_outcomes)
+
+    def _emit_done(self, label: str, ok: bool, source: str, wall_s: float) -> None:
+        """Terminal progress event for one unique job of the current batch."""
+        if self.progress is None:
+            return
+        try:
+            self.progress(
+                {
+                    "kind": "done" if ok else "error",
+                    "job": label,
+                    "source": source,
+                    "wall_s": round(wall_s, 6),
+                }
+            )
+        except Exception:
+            pass
 
     def map(self, jobs: Sequence[SimJob]) -> Dict[SimJob, RunResult]:
         """Like :meth:`run_jobs` but demand total success.
@@ -403,21 +575,69 @@ class ExperimentEngine:
         job = SimJob.of(config, bench, model, n_accesses, seed)
         return self.map([job])[job]
 
-    def _execute_batch(self, pending: Sequence[SimJob]) -> List[Tuple[bool, object]]:
-        """Run misses, in parallel when configured and possible."""
-        items: List[Tuple[SimJob, Optional[str]]] = [
-            (job, self._trace_path_for(job)) for job in pending
-        ]
+    def _execute_batch(
+        self, pending: Sequence[SimJob]
+    ) -> List[Tuple[bool, object, float]]:
+        """Run misses, in parallel when configured and possible.
+
+        Emits the terminal ``done``/``error`` progress event for each job as
+        its result arrives - incrementally, not after the whole batch.
+        """
         if self.workers > 1 and len(pending) > 1:
-            try:
-                workers = min(self.workers, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(pool.map(_execute_job_entry, items))
-            except Exception:
-                # Pool unavailable (restricted sandbox, broken pickling,
-                # resource limits): fall back to the serial path below.
-                pass
-        return [_execute_job_entry(item) for item in items]
+            results = self._execute_parallel(pending)
+            if results is not None:
+                return results
+            # Pool unavailable (restricted sandbox, broken pickling,
+            # resource limits): fall back to the serial path below. If the
+            # pool died mid-batch, a handful of done events may repeat -
+            # cosmetic only; outcomes come solely from the serial rerun.
+        sink = _CallbackSink(self.progress) if self.progress is not None else None
+        results = []
+        for job in pending:
+            outcome = _execute_job(
+                job, self._trace_path_for(job), sink, self.progress_epoch
+            )
+            self._emit_done(job.label(), outcome[0], "run", outcome[2])
+            results.append(outcome)
+        return results
+
+    def _execute_parallel(
+        self, pending: Sequence[SimJob]
+    ) -> Optional[List[Tuple[bool, object, float]]]:
+        """Pool execution; None when no pool could run the batch."""
+        import multiprocessing
+
+        manager = None
+        drainer = None
+        events = None
+        try:
+            if self.progress is not None:
+                # Manager queue: its proxy pickles into pool workers, unlike
+                # a raw multiprocessing.Queue handed through pool.map args.
+                manager = multiprocessing.Manager()
+                events = manager.Queue()
+                drainer = _QueueDrainer(events, self.progress)
+            items = [
+                (job, self._trace_path_for(job), events, self.progress_epoch)
+                for job in pending
+            ]
+            workers = min(self.workers, len(pending))
+            results: List[Tuple[bool, object, float]] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for job, outcome in zip(pending, pool.map(_execute_job_entry, items)):
+                    self._emit_done(job.label(), outcome[0], "run", outcome[2])
+                    results.append(outcome)
+            return results
+        except Exception:
+            return None
+        finally:
+            if drainer is not None:
+                drainer.finish()
+            if manager is not None:
+                try:
+                    manager.shutdown()
+                except Exception:
+                    pass
 
     def _trace_path_for(self, job: SimJob) -> Optional[str]:
         if self.trace_dir is None:

@@ -28,8 +28,10 @@ of rendering wrong reports.
 
 from __future__ import annotations
 
+import csv
+import io
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..gpu.gpusim import RunResult
 from ..sim.metrics import channel_security_shares, derived_metrics
@@ -128,33 +130,50 @@ def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[
     return lines
 
 
-def render_markdown_report(results: Sequence[RunResult]) -> str:
+def render_markdown_report(
+    results: Sequence[RunResult],
+    engine_meta: Optional[Sequence[Optional[Dict]]] = None,
+) -> str:
     """Per-run observability report as GitHub-flavoured markdown.
 
     One section per result: run summary, traffic breakdown by
     ``side.category``, derived ratios, and the per-component
     security-traffic shares that answer "which channel carried the security
     overhead".
+
+    ``engine_meta`` (optional, aligned with ``results``) carries the
+    execution-provenance sidecar the engine attaches to each run -
+    ``{"source": "memory"|"disk"|"run", "wall_s": float}`` - rendered as
+    extra summary rows. It lives *outside* the RunResult payload on purpose:
+    provenance changes run to run, results must not.
     """
     lines: List[str] = ["# Salus run report", ""]
-    for result in results:
+    for position, result in enumerate(results):
         stats = result.stats
         lines.append(f"## {result.workload} / {result.model}")
         lines.append("")
-        lines.extend(
-            _md_table(
-                ("metric", "value"),
-                [
-                    ("instructions", stats.instructions),
-                    ("cycles", stats.final_cycle),
-                    ("IPC", stats.ipc),
-                    ("page fills", result.fills),
-                    ("page evictions", result.evictions),
-                    ("total traffic (MB)", stats.total_bytes() / 1e6),
-                    ("security traffic (MB)", stats.security_bytes() / 1e6),
-                ],
-            )
-        )
+        summary_rows: List[Sequence[object]] = [
+            ("instructions", stats.instructions),
+            ("cycles", stats.final_cycle),
+            ("IPC", stats.ipc),
+            ("page fills", result.fills),
+            ("page evictions", result.evictions),
+            ("total traffic (MB)", stats.total_bytes() / 1e6),
+            ("security traffic (MB)", stats.security_bytes() / 1e6),
+        ]
+        meta = engine_meta[position] if engine_meta and position < len(engine_meta) else None
+        if meta:
+            source = meta.get("source")
+            if source:
+                label = {
+                    "memory": "memory cache hit",
+                    "disk": "disk cache hit",
+                    "run": "simulated fresh",
+                }.get(source, source)
+                summary_rows.append(("result source", label))
+            if "wall_s" in meta:
+                summary_rows.append(("engine wall time (s)", float(meta["wall_s"])))
+        lines.extend(_md_table(("metric", "value"), summary_rows))
         lines.append("")
 
         lines.append("### Traffic by side and category")
@@ -222,8 +241,15 @@ def render_markdown_report(results: Sequence[RunResult]) -> str:
 def render_csv(results: Sequence[RunResult]) -> str:
     """Flat machine-readable dump: one ``workload,model,metric,value`` row
     per metric-tree leaf and derived ratio, for spreadsheet/pandas digestion.
+
+    Emitted through the :mod:`csv` module so fields containing commas or
+    quotes are escaped per RFC 4180 instead of silently corrupting columns
+    (the old string-join emitter shifted every row with a comma in the
+    workload name).
     """
-    lines = ["workload,model,metric,value"]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(("workload", "model", "metric", "value"))
     for result in results:
         tagged: List = []
         tagged.extend(sorted(result.metrics.items()))
@@ -231,5 +257,5 @@ def render_csv(results: Sequence[RunResult]) -> str:
         for key, nbytes in result.stats.breakdown().items():
             tagged.append((f"traffic.{key}", nbytes))
         for name, value in tagged:
-            lines.append(f"{result.workload},{result.model},{name},{value}")
-    return "\n".join(lines) + "\n"
+            writer.writerow((result.workload, result.model, name, value))
+    return buffer.getvalue()

@@ -31,7 +31,7 @@ tallies are.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from .stats import Side, StatRegistry
 
@@ -168,6 +168,43 @@ def derived_metrics(tree: Mapping[str, Number], stats: StatRegistry) -> Dict[str
     mapping = subtree(tree, "gpu.mapping")
     out["derived.mapping_hit_rate"] = _rate(_sum(mapping, ".hits"), _sum(mapping, ".misses"))
     return out
+
+
+def diff_trees(
+    a: Mapping[str, Number], b: Mapping[str, Number]
+) -> Dict[str, Tuple[Optional[Number], Optional[Number]]]:
+    """First-divergence substrate: every leaf where two metric trees differ.
+
+    Returns ``{dotted_name: (a_value, b_value)}`` for names whose values
+    differ, with ``None`` standing for "absent on this side" (trees from
+    different models legitimately differ in which keys exist - see
+    docs/METRICS.md). Keys are emitted in sorted order so reports are
+    deterministic; an empty dict means the trees are identical.
+    """
+    out: Dict[str, Tuple[Optional[Number], Optional[Number]]] = {}
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            out[key] = (va, vb)
+    return out
+
+
+def group_diffs_by_subtree(
+    diffs: Mapping[str, Tuple[Optional[Number], Optional[Number]]],
+    depth: int = 2,
+) -> "Dict[str, Dict[str, Tuple[Optional[Number], Optional[Number]]]]":
+    """Group a :func:`diff_trees` result by its leading dotted components.
+
+    ``depth=2`` turns ``gpu.channel3.mac_bytes`` into the ``gpu.channel3``
+    subtree - the granularity at which "which structure moved" is usually
+    answered. Groups and members keep sorted order.
+    """
+    grouped: Dict[str, Dict[str, Tuple[Optional[Number], Optional[Number]]]] = {}
+    for key in sorted(diffs):
+        parts = key.split(".")
+        prefix = ".".join(parts[: min(depth, len(parts) - 1)] or parts[:1])
+        grouped.setdefault(prefix, {})[key] = diffs[key]
+    return grouped
 
 
 def channel_security_shares(tree: Mapping[str, Number]) -> Dict[str, float]:

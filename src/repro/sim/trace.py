@@ -231,6 +231,84 @@ class Tracer:
         return path
 
 
+# -- stable event iteration / alignment (divergence diffing) ----------------
+#
+# ``repro diff`` compares two exported Chrome traces of the "same"
+# simulation to localize where their deterministic event streams first
+# disagree. The helpers below give it a stable, export-independent view:
+# metadata records are dropped, thread ids are resolved back to component
+# names through each trace's own metadata (so tid renumbering can never
+# read as a divergence), and events keep their recorded stream order -
+# which, per this module's determinism contract, is identical between two
+# runs of the same simulation up to the first behavioural difference.
+
+def chrome_component_names(payload: dict) -> Dict[int, str]:
+    """``{tid: component_name}`` from a Chrome-trace object's metadata."""
+    names: Dict[int, str] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[event.get("tid", 0)] = event.get("args", {}).get("name", "")
+    return names
+
+
+def normalized_events(payload: dict) -> List[Tuple]:
+    """Comparable event tuples from an exported Chrome-trace object.
+
+    Returns ``(ph, component, name, cat, ts, dur, args_json)`` per
+    non-metadata event, in stream (= recording) order. ``args_json`` is the
+    canonical JSON of the event args so tuples compare by value.
+    """
+    names = chrome_component_names(payload)
+    out: List[Tuple] = []
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "M":
+            continue
+        args = event.get("args")
+        out.append(
+            (
+                event.get("ph", ""),
+                names.get(event.get("tid", 0), ""),
+                event.get("name", ""),
+                event.get("cat", ""),
+                event.get("ts", 0),
+                event.get("dur", 0),
+                json.dumps(args, sort_keys=True) if args is not None else "",
+            )
+        )
+    return out
+
+
+def first_event_divergence(
+    a: List[Tuple], b: List[Tuple]
+) -> Optional[int]:
+    """Index of the first position where two normalized streams disagree.
+
+    ``None`` means identical; a stream that is a strict prefix of the other
+    diverges at ``len(shorter)``.
+    """
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            return i
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def render_normalized_event(event: Optional[Tuple]) -> str:
+    """One-line human-readable form of a :func:`normalized_events` tuple."""
+    if event is None:
+        return "<end of stream>"
+    ph, component, name, cat, ts, dur, args = event
+    parts = [f"ts={ts}", f"ph={ph}", f"{component or '-'}:{name}"]
+    if dur:
+        parts.append(f"dur={dur}")
+    if cat:
+        parts.append(f"cat={cat}")
+    if args:
+        parts.append(f"args={args}")
+    return " ".join(parts)
+
+
 #: Process-wide disabled tracer; share it, never mutate it. Instrumentation
 #: sites hold a reference to this when no tracer was requested, so the
 #: hot-path guard is a single ``.enabled`` attribute load and no event is

@@ -1,0 +1,245 @@
+"""Tests for first-divergence diffing (harness/diff.py and `repro diff`).
+
+The contract under test: given two runs that the fingerprint gate calls
+different, the diff names *where* they differ - the exact first event for
+traces, the subtree of moved metric leaves for results - and stays silent
+(exit 0, "identical") for byte-identical inputs.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import SystemConfig
+from repro.harness.diff import (
+    DiffError,
+    diff_chrome_traces,
+    diff_paths,
+    diff_result_dicts,
+    load_payload,
+    pair_results,
+)
+from repro.harness.runner import run_model
+from repro.sim.metrics import diff_trees, group_diffs_by_subtree
+from repro.sim.trace import (
+    Tracer,
+    first_event_divergence,
+    normalized_events,
+    render_normalized_event,
+)
+from repro.workloads.suite import build_trace
+
+CFG = SystemConfig.small()
+N = 500
+
+
+def run_dict(bench="nw", model="salus", seed=3, n=N):
+    trace = build_trace(bench, n_accesses=n, seed=seed, num_sms=CFG.gpu.num_sms)
+    return run_model(CFG, trace, model).to_dict()
+
+
+@pytest.fixture(scope="module")
+def salus_seed3():
+    return run_dict(seed=3)
+
+
+@pytest.fixture(scope="module")
+def salus_seed4():
+    return run_dict(seed=4)
+
+
+class TestMetricTreeDiff:
+    def test_identical_trees_diff_empty(self):
+        tree = {"a.x": 1, "a.y": 2.5}
+        assert diff_trees(tree, dict(tree)) == {}
+
+    def test_reports_changed_added_and_removed(self):
+        diffs = diff_trees({"a.x": 1, "a.y": 2}, {"a.x": 5, "a.z": 7})
+        assert diffs == {"a.x": (1, 5), "a.y": (2, None), "a.z": (None, 7)}
+
+    def test_grouping_by_subtree(self):
+        diffs = {"gpu.l2.hits": (1, 2), "gpu.l2.misses": (3, 4), "cxl.rx.ops": (5, 6)}
+        groups = group_diffs_by_subtree(diffs)
+        assert set(groups) == {"gpu.l2", "cxl.rx"}
+        assert set(groups["gpu.l2"]) == {"gpu.l2.hits", "gpu.l2.misses"}
+
+
+class TestResultDiff:
+    def test_identical_results(self, salus_seed3):
+        diff = diff_result_dicts(salus_seed3, copy.deepcopy(salus_seed3))
+        assert diff.identical
+        assert "identical" in diff.render()
+
+    def test_cross_seed_divergence_names_leaves(self, salus_seed3, salus_seed4):
+        diff = diff_result_dicts(salus_seed3, salus_seed4, "s3", "s4")
+        assert not diff.identical
+        assert diff.metrics, "different seeds must move some metric leaf"
+        first = diff.first_metric()
+        assert first in diff.metrics
+        text = diff.render()
+        assert "s3" in text and "s4" in text
+        assert first.split(".")[0] in text
+
+    def test_single_injected_leaf(self, salus_seed3):
+        mutated = copy.deepcopy(salus_seed3)
+        leaf = sorted(mutated["metrics"])[0]
+        mutated["metrics"][leaf] += 1
+        diff = diff_result_dicts(salus_seed3, mutated)
+        assert list(diff.metrics) == [leaf]
+        assert diff.first_metric() == leaf
+        assert leaf in diff.render()
+
+    def test_max_leaves_truncation(self, salus_seed3, salus_seed4):
+        diff = diff_result_dicts(salus_seed3, salus_seed4)
+        if len(diff.metrics) > 3:
+            assert "more leaves" in diff.render(max_leaves=3)
+
+
+class TestPairing:
+    def test_singletons_pair_directly(self):
+        a = {"workload": "nw", "model": "nosec"}
+        b = {"workload": "nw", "model": "salus"}
+        pairs = pair_results([a], [b])
+        assert len(pairs) == 1
+
+    def test_pairs_by_workload_model_key(self):
+        a = [{"workload": "nw", "model": "nosec"}, {"workload": "nw", "model": "salus"}]
+        b = [{"workload": "nw", "model": "salus"}]
+        pairs = pair_results(a, b)
+        assert [key for _, _, key in pairs] == ["nw/salus"]
+
+    def test_pick_restricts(self):
+        a = [{"workload": "nw", "model": "nosec"}, {"workload": "nw", "model": "salus"}]
+        pairs = pair_results(a, a, pick="nw/nosec")
+        assert [key for _, _, key in pairs] == ["nw/nosec"]
+        with pytest.raises(DiffError):
+            pair_results(a, a, pick="nw/missing")
+
+    def test_no_common_pairs_is_an_error(self):
+        with pytest.raises(DiffError):
+            pair_results(
+                [{"workload": "nw", "model": "nosec"}] * 2,
+                [{"workload": "bfs", "model": "salus"}] * 2,
+            )
+
+
+class TestTraceDiff:
+    @staticmethod
+    def traced_payload(seed=3):
+        trace = build_trace("nw", n_accesses=N, seed=seed, num_sms=CFG.gpu.num_sms)
+        tracer = Tracer()
+        run_model(CFG, trace, "salus", tracer=tracer)
+        return tracer.to_chrome()
+
+    def test_identical_traces(self):
+        payload = self.traced_payload()
+        diff = diff_chrome_traces(payload, copy.deepcopy(payload))
+        assert diff.identical
+        assert "identical" in diff.render()
+
+    def test_injected_event_divergence_is_localized_exactly(self):
+        payload_a = self.traced_payload()
+        payload_b = copy.deepcopy(payload_a)
+        # Mutate the 8th non-metadata event: nudge its timestamp.
+        data_indices = [
+            i for i, e in enumerate(payload_b["traceEvents"]) if e.get("ph") != "M"
+        ]
+        victim = data_indices[7]
+        payload_b["traceEvents"][victim]["ts"] += 1
+
+        events_a = normalized_events(payload_a)
+        index = first_event_divergence(events_a, normalized_events(payload_b))
+        assert index == 7
+
+        diff = diff_chrome_traces(payload_a, payload_b, "good", "bad")
+        assert diff.index == 7
+        text = diff.render()
+        assert "diverge at event index 7" in text
+        # The report names the exact event on both sides, with context.
+        assert render_normalized_event(events_a[7]) in text
+        assert "good" in text and "bad" in text
+        assert "[6]" in text  # context window shows the aligned prefix
+
+    def test_truncated_stream_diverges_at_its_end(self):
+        payload_a = self.traced_payload()
+        payload_b = copy.deepcopy(payload_a)
+        payload_b["traceEvents"] = payload_b["traceEvents"][:-1]
+        diff = diff_chrome_traces(payload_a, payload_b)
+        assert not diff.identical
+        assert diff.index == diff.total_b
+        assert "<end of stream>" in diff.render()
+
+    def test_tid_renumbering_is_not_divergence(self):
+        payload_a = self.traced_payload()
+        payload_b = copy.deepcopy(payload_a)
+        # Swap two tids consistently (metadata and events): same components,
+        # different numbering - the normalized streams must still align.
+        tids = sorted(
+            {e["tid"] for e in payload_b["traceEvents"] if "tid" in e}
+        )
+        if len(tids) >= 2:
+            swap = {tids[0]: tids[1], tids[1]: tids[0]}
+            for event in payload_b["traceEvents"]:
+                if event.get("tid") in swap:
+                    event["tid"] = swap[event["tid"]]
+            assert diff_chrome_traces(payload_a, payload_b).identical
+
+
+class TestDiffPaths:
+    def test_classification(self, tmp_path, salus_seed3):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps([salus_seed3]), encoding="utf-8")
+        kind, payload = load_payload(results)
+        assert kind == "results" and isinstance(payload, list)
+
+        trace_file = tmp_path / "t.json"
+        trace_file.write_text(
+            json.dumps(TestTraceDiff.traced_payload()), encoding="utf-8"
+        )
+        kind, _ = load_payload(trace_file)
+        assert kind == "trace"
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"neither": true}', encoding="utf-8")
+        with pytest.raises(DiffError):
+            load_payload(bad)
+        with pytest.raises(DiffError):
+            load_payload(tmp_path / "missing.json")
+
+    def test_kind_mismatch_is_an_error(self, tmp_path, salus_seed3):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps(salus_seed3), encoding="utf-8")
+        trace_file = tmp_path / "t.json"
+        trace_file.write_text(
+            json.dumps(TestTraceDiff.traced_payload()), encoding="utf-8"
+        )
+        with pytest.raises(DiffError):
+            diff_paths(results, trace_file)
+
+    def test_outcome_bit(self, tmp_path, salus_seed3, salus_seed4):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(salus_seed3), encoding="utf-8")
+        b.write_text(json.dumps(salus_seed4), encoding="utf-8")
+        assert diff_paths(a, a).identical
+        assert not diff_paths(a, b).identical
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys, salus_seed3, salus_seed4):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(salus_seed3), encoding="utf-8")
+        b.write_text(json.dumps(salus_seed4), encoding="utf-8")
+
+        assert main(["diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "differing metric leaves" in out
+
+        assert main(["diff", str(a), str(tmp_path / "missing.json")]) == 2
+        assert "repro diff" in capsys.readouterr().err

@@ -207,7 +207,7 @@ class TestSizeOnePreservation:
         spec = bench_perf.sweep_spec(quick=True)
         ref = bench_perf.find_entry(store, spec["name"], "baseline")
         assert ref is not None, "BENCH_perf.json lacks the quick/baseline entry"
-        jobs = bench_perf.run_sweep(spec)
+        jobs, _results = bench_perf.run_sweep(spec)
         assert set(jobs) == set(ref["jobs"])
         for label, job in jobs.items():
             assert job["fingerprint"] == ref["jobs"][label]["fingerprint"], (
