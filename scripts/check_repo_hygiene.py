@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Repo hygiene gate: no build artifacts or caches in the git index.
+
+Scans ``git ls-files`` for paths that should never be tracked - compiled
+bytecode (``__pycache__``, ``*.pyc``), packaging residue (``*.egg-info``,
+``build/``, ``dist/``), tool caches (``.pytest_cache``, ``.hypothesis``),
+and local simulation caches (``.salus-cache``, ``.ci-cache``). These are
+all gitignored; this script catches the case where one slipped into the
+index *before* the ignore rule existed (``.gitignore`` does not untrack).
+
+Run from anywhere inside the repository:
+
+    python scripts/check_repo_hygiene.py
+
+Exit status: 0 when the index is clean, 1 listing every offender, 2 when
+git is unavailable or the working directory is not a repository.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import subprocess
+import sys
+
+# Path patterns (fnmatch, matched against full repo-relative paths) that
+# must never appear in the index. Keep in sync with .gitignore.
+FORBIDDEN_PATTERNS = (
+    "*__pycache__*",
+    "*.pyc",
+    "*.pyo",
+    "*.pyd",
+    "*.egg-info/*",
+    "*.egg-info",
+    ".pytest_cache/*",
+    ".hypothesis/*",
+    ".salus-cache/*",
+    ".ci-cache/*",
+    "build/*",
+    "dist/*",
+    "*.trace.json",
+    "*.progress.jsonl",
+)
+
+
+def tracked_files() -> list:
+    proc = subprocess.run(
+        ["git", "ls-files", "-z"],
+        capture_output=True,
+        check=True,
+    )
+    return [p.decode() for p in proc.stdout.split(b"\0") if p]
+
+
+def offenders(paths) -> list:
+    bad = []
+    for path in paths:
+        for pattern in FORBIDDEN_PATTERNS:
+            if fnmatch.fnmatch(path, pattern):
+                bad.append((path, pattern))
+                break
+    return bad
+
+
+def main() -> int:
+    try:
+        paths = tracked_files()
+    except (OSError, subprocess.CalledProcessError) as exc:
+        print(f"check_repo_hygiene: cannot list tracked files: {exc}",
+              file=sys.stderr)
+        return 2
+    bad = offenders(paths)
+    if bad:
+        print(f"{len(bad)} tracked artifact(s) violate repo hygiene:")
+        for path, pattern in bad:
+            print(f"  {path}  (matches {pattern})")
+        print("\nuntrack with: git rm -r --cached <path>")
+        return 1
+    print(f"repo hygiene ok: {len(paths)} tracked files, no artifacts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

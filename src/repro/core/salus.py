@@ -212,7 +212,7 @@ class SalusSecurityModel(TimingSecurityModel):
         caches = fabric.device_meta[channel]
         device_chunk = frame * geom.chunks_per_page + chunk_in_page
         dev = fabric.home_of_page(page)
-        local_page = fabric.shard.local_page(page)
+        local_page = fabric.local_page(page)
         self.stats.bump("salus.first_touch_fetches")
         tracer = fabric.tracer
         if tracer.enabled:
@@ -442,7 +442,7 @@ class SalusSecurityModel(TimingSecurityModel):
         fabric = self.fabric
         drain = now
         dev = fabric.home_of_page(page)
-        local_page = fabric.shard.local_page(page)
+        local_page = fabric.local_page(page)
         cxl_state = self.cxl_state_by_dev[dev]
         self._drop_device_page_metadata(frame)
 

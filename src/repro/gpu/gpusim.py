@@ -28,7 +28,6 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 from ..config import SystemConfig
 from ..cxl.mapping import MappingTable
 from ..cxl.mapping_cache import MappingMissHandler
-from ..errors import TraceError
 from ..memsys.l2cache import L2Slice
 from ..memsys.request import MemoryRequest
 from ..migration.dirty import DirtyTracker
@@ -352,8 +351,12 @@ class GpuSim:
         if cached_frame is not None:
             frame, fill_ready = self.engine.ensure_resident(now, page)
             return frame, max(now + MAPPING_HIT_CYCLES, fill_ready)
-        # Miss: the control logic reads the mapping sector from device memory
-        # and, if the page is absent, starts the copy (Section IV-B).
+        return self._translate_miss(now, gpc, page)
+
+    def _translate_miss(self, now: int, gpc: int, page: int) -> Tuple[int, int]:
+        """Mapping-cache miss: the control logic reads the mapping sector
+        from device memory and, if the page is absent, starts the copy
+        (Section IV-B). The caller has already counted the miss."""
         map_channel = (page // 4) % self._map_channels
         map_ready = self.fabric.device_read(
             now, map_channel, MAPPING_SECTOR_BYTES, TrafficCategory.MAPPING,
@@ -386,8 +389,7 @@ class GpuSim:
             )
             self.model.writeback(now, loc)
 
-    def _access_memory(self, now: int, req: MemoryRequest, frame: int) -> int:
-        addr = req.cxl_addr
+    def _access_memory(self, now: int, addr: int, is_write: bool, frame: int) -> int:
         loc = self.fabric.locate(addr, frame)
         if self._chunk_mode:
             # Writes also wait for the chunk (read-for-ownership: untouched
@@ -399,7 +401,7 @@ class GpuSim:
         line_addr = (loc.page, block_in_page)
         sector_in_block = (addr % self._block_bytes) // self._sector_bytes
 
-        if req.is_write:
+        if is_write:
             self.model.on_store(now, loc)
             result = slice_.access(line_addr, sector_in_block, write=True)
             self._handle_l2_evictions(now, result.evicted)
@@ -428,47 +430,31 @@ class GpuSim:
         requests: Iterable[MemoryRequest],
         compute_per_mem: int = 0,
         workload_name: str = "trace",
+        kernel: Optional[str] = None,
     ) -> RunResult:
-        """Process a trace to completion and return the collected results."""
-        gpu = self.config.gpu
-        block_instructions = 1 + max(0, compute_per_mem)
-        footprint_bytes = self.fabric.footprint_pages * self.geometry.page_bytes
-        # Loop-invariant locals: attribute loads inside this loop are paid
-        # once per trace request, which dominates small-config runs.
-        sms = self.sms
-        num_sms = gpu.num_sms
-        sms_per_gpc = gpu.sms_per_gpc
-        page_bytes = self._page_bytes
-        sample_queue = self._sample_queue
-        tracing = self.tracer.enabled
+        """Process a trace to completion and return the collected results.
 
-        for req in requests:
-            if not 0 <= req.cxl_addr < footprint_bytes:
-                raise TraceError(
-                    f"trace address {req.cxl_addr:#x} outside footprint "
-                    f"of {footprint_bytes} bytes"
-                )
-            sm = sms[req.sm % num_sms]
-            gpc = sm.sm_id // sms_per_gpc
-            warp = sm.pick_warp(req.warp)
-            t_issue = sm.issue(warp, block_instructions)
-            if t_issue > self._now:
-                self._now = t_issue
-            if sample_queue is not None and self._now > sample_queue.now:
-                sample_queue.run(until=self._now)
+        ``kernel`` selects the request-path engine (``scalar``, ``batched``
+        or ``auto``); ``None`` defers to ``REPRO_KERNEL`` and then the
+        ``auto`` default. Both engines are bound by the dual-engine
+        contract: the returned :class:`RunResult` (and hence its
+        fingerprint) is bit-identical either way.
+        """
+        from ..kernel import resolve_kernel
 
-            page = req.cxl_addr // page_bytes
-            frame, ready = self._translate(t_issue, gpc, page)
-            t_mem = self.interconnect.traverse(ready, gpc)
-            completion = self._access_memory(t_mem, req, frame)
-            sm.complete(warp, completion)
-            if tracing:
-                self.tracer.span(
-                    f"sm{sm.sm_id}", "write" if req.is_write else "read",
-                    t_issue, completion - t_issue, cat="request",
-                    args={"addr": req.cxl_addr, "warp": warp},
-                )
+        engine = resolve_kernel(kernel)
+        if engine == "batched":
+            from ..kernel.batched import run_batched
 
+            run_batched(self, requests, compute_per_mem)
+        else:
+            from ..kernel.scalar import run_scalar
+
+            run_scalar(self, requests, compute_per_mem)
+        return self._finish(workload_name)
+
+    def _finish(self, workload_name: str) -> RunResult:
+        """Shared post-loop tail: drain, finalize the model, collect stats."""
         final = max((sm.drain_cycle for sm in self.sms), default=0)
         if self._sample_queue is not None:
             # Flush outstanding epoch samples up to the drain cycle, then a

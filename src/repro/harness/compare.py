@@ -1,0 +1,129 @@
+"""Dual-kernel comparison harness (``repro perf --compare A B``).
+
+Runs the quick benchmark subset under two request-path kernels and checks
+the dual-engine contract live: every (bench, model) job must produce
+bit-identical result fingerprints under both, and the per-job speedup is
+reported alongside. A fingerprint mismatch is a contract violation and
+exits nonzero - this is the fastest local probe for "did my kernel change
+break equivalence" before the full ``scripts/bench_perf.py`` gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+
+# The quick-subset sweep, kept in sync with scripts/bench_perf.py (the
+# script cannot be imported from the installed package, so the constants
+# are duplicated here; change both together).
+QUICK_BENCHES: Tuple[str, ...] = ("nw", "backprop", "kmeans")
+QUICK_ACCESSES = 2_000
+COMPARE_MODELS: Tuple[str, ...] = ("nosec", "baseline", "salus")
+DEFAULT_SEED = 7
+
+
+def compare_kernels(
+    kernel_a: str,
+    kernel_b: str,
+    accesses: int = QUICK_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    benches: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """Run every (bench, model) job under both kernels; one row per job.
+
+    Each row carries the two wall times, the two fingerprints, ``match``
+    (fingerprints equal) and ``speedup`` (wall_a / wall_b - how much
+    faster ``kernel_b`` is). Kernels are resolved up front so ``auto``
+    and env-var spellings behave exactly as in a normal run.
+    """
+    from ..kernel import resolve_kernel
+    from ..workloads.suite import build_trace
+    from .runner import run_model
+
+    resolved_a = resolve_kernel(kernel_a)
+    resolved_b = resolve_kernel(kernel_b)
+    config = SystemConfig.bench()
+    rows: List[Dict] = []
+    for bench in benches if benches is not None else QUICK_BENCHES:
+        trace = build_trace(
+            bench, n_accesses=accesses, seed=seed,
+            num_sms=config.gpu.num_sms, geometry=config.geometry,
+        )
+        for model in models if models is not None else COMPARE_MODELS:
+            t0 = time.perf_counter()
+            result_a = run_model(config, trace, model, kernel=resolved_a)
+            wall_a = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result_b = run_model(config, trace, model, kernel=resolved_b)
+            wall_b = time.perf_counter() - t0
+            fp_a = result_a.fingerprint()
+            fp_b = result_b.fingerprint()
+            rows.append({
+                "job": f"{bench}/{model}",
+                "wall_a": wall_a,
+                "wall_b": wall_b,
+                "fingerprint_a": fp_a,
+                "fingerprint_b": fp_b,
+                "match": fp_a == fp_b,
+                "speedup": (wall_a / wall_b) if wall_b else 0.0,
+            })
+    return rows
+
+
+def run_compare(
+    kernel_a: str,
+    kernel_b: str,
+    accesses: int = QUICK_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> int:
+    """CLI face of :func:`compare_kernels`: table + exit code.
+
+    Exit 0 when every job fingerprints identically under both kernels,
+    1 on any mismatch, 2 on usage errors (unknown kernel names).
+    """
+    from .report import format_table
+
+    try:
+        rows = compare_kernels(kernel_a, kernel_b, accesses=accesses, seed=seed)
+    except ConfigError as exc:
+        import sys
+
+        print(f"repro perf --compare: {exc}", file=sys.stderr)
+        return 2
+    table_rows = [
+        (
+            row["job"],
+            f"{row['wall_a']:.3f}",
+            f"{row['wall_b']:.3f}",
+            row["speedup"],
+            "ok" if row["match"] else "MISMATCH",
+        )
+        for row in rows
+    ]
+    print(
+        format_table(
+            ("job", f"{kernel_a}_s", f"{kernel_b}_s", "speedup", "fingerprint"),
+            table_rows,
+            title=f"kernel compare: {kernel_a} vs {kernel_b} "
+                  f"@ {accesses} accesses (seed {seed})",
+        )
+    )
+    mismatched = [row["job"] for row in rows if not row["match"]]
+    total_a = sum(row["wall_a"] for row in rows)
+    total_b = sum(row["wall_b"] for row in rows)
+    if mismatched:
+        print(
+            f"\nDUAL-ENGINE CONTRACT VIOLATED: {len(mismatched)} job(s) "
+            f"diverge between kernels: {', '.join(mismatched)}"
+        )
+        return 1
+    print(
+        f"\nall {len(rows)} jobs bit-identical across kernels; "
+        f"total {total_a:.2f}s ({kernel_a}) vs {total_b:.2f}s ({kernel_b}) "
+        f"-> {total_a / total_b if total_b else 0.0:.2f}x"
+    )
+    return 0

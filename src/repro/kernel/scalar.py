@@ -1,0 +1,57 @@
+"""Reference scalar engine: the original per-request dispatch loop.
+
+This is the oracle side of the dual-engine contract. The loop body is the
+one that produced every recorded fingerprint in ``BENCH_perf.json``; it
+was moved here verbatim from ``GpuSim.run`` when the kernel seam was
+introduced. Any behavioural change to this file invalidates the recorded
+trajectory and must be treated as a new baseline, not an optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import TraceError
+from ..memsys.request import MemoryRequest
+
+
+def run_scalar(sim, requests: Iterable[MemoryRequest], compute_per_mem: int = 0) -> None:
+    """Drive ``sim`` through ``requests`` one request at a time."""
+    gpu = sim.config.gpu
+    block_instructions = 1 + max(0, compute_per_mem)
+    footprint_bytes = sim.fabric.footprint_pages * sim.geometry.page_bytes
+    # Loop-invariant locals: attribute loads inside this loop are paid
+    # once per trace request, which dominates small-config runs.
+    sms = sim.sms
+    num_sms = gpu.num_sms
+    sms_per_gpc = gpu.sms_per_gpc
+    page_bytes = sim._page_bytes
+    sample_queue = sim._sample_queue
+    tracing = sim.tracer.enabled
+
+    for req in requests:
+        if not 0 <= req.cxl_addr < footprint_bytes:
+            raise TraceError(
+                f"trace address {req.cxl_addr:#x} outside footprint "
+                f"of {footprint_bytes} bytes"
+            )
+        sm = sms[req.sm % num_sms]
+        gpc = sm.sm_id // sms_per_gpc
+        warp = sm.pick_warp(req.warp)
+        t_issue = sm.issue(warp, block_instructions)
+        if t_issue > sim._now:
+            sim._now = t_issue
+        if sample_queue is not None and sim._now > sample_queue.now:
+            sample_queue.run(until=sim._now)
+
+        page = req.cxl_addr // page_bytes
+        frame, ready = sim._translate(t_issue, gpc, page)
+        t_mem = sim.interconnect.traverse(ready, gpc)
+        completion = sim._access_memory(t_mem, req.cxl_addr, req.is_write, frame)
+        sm.complete(warp, completion)
+        if tracing:
+            sim.tracer.span(
+                f"sm{sm.sm_id}", "write" if req.is_write else "read",
+                t_issue, completion - t_issue, cat="request",
+                args={"addr": req.cxl_addr, "warp": warp},
+            )

@@ -190,7 +190,7 @@ class BaselineSecurityModel(TimingSecurityModel):
         #    baseline with.
         link = self.linkfns_by_device[dev]
         meta_ready = now
-        base_sector = fabric.shard.local_page(page) * geom.sectors_per_page
+        base_sector = fabric.local_page(page) * geom.sectors_per_page
         for unit in self._cxl_ctr_units(cxl_layout, base_sector):
             ready, hit = fabric.metadata_access(
                 now, cxl_meta.counter, unit, link.ctr_rd, link.ctr_wr,
@@ -279,7 +279,7 @@ class BaselineSecurityModel(TimingSecurityModel):
 
         # CXL metadata for this chunk (device-local addressing).
         base_sector = (
-            fabric.shard.local_page(page) * geom.sectors_per_page
+            fabric.local_page(page) * geom.sectors_per_page
             + chunk_in_page * geom.sectors_per_chunk
         )
         link = self.linkfns_by_device[dev]
@@ -356,7 +356,7 @@ class BaselineSecurityModel(TimingSecurityModel):
 
         # 1. Read and verify device-side metadata, decrypt, re-encrypt with
         #    CXL counters (every sector writes back under the coarse bit).
-        base_sector = fabric.shard.local_page(page) * geom.sectors_per_page
+        base_sector = fabric.local_page(page) * geom.sectors_per_page
         for chunk in all_chunks:
             channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
             caches = fabric.device_meta[channel]
