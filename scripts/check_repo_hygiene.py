@@ -8,12 +8,18 @@ and local simulation caches (``.salus-cache``, ``.ci-cache``). These are
 all gitignored; this script catches the case where one slipped into the
 index *before* the ignore rule existed (``.gitignore`` does not untrack).
 
+It also walks the *working tree* under ``src/`` for ``__pycache__``
+directories: untracked bytecode there is invisible to git but still
+pollutes sdists built from the tree, shadows renamed modules, and breaks
+``pip install -e`` cleanups. Pass ``--no-worktree`` to restrict the check
+to the index (e.g. on a build box that legitimately imports in place).
+
 Run from anywhere inside the repository:
 
     python scripts/check_repo_hygiene.py
 
-Exit status: 0 when the index is clean, 1 listing every offender, 2 when
-git is unavailable or the working directory is not a repository.
+Exit status: 0 when clean, 1 listing every offender, 2 when git is
+unavailable or the working directory is not a repository.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from __future__ import annotations
 import fnmatch
 import subprocess
 import sys
+from pathlib import Path
 
 # Path patterns (fnmatch, matched against full repo-relative paths) that
 # must never appear in the index. Keep in sync with .gitignore.
@@ -42,6 +49,15 @@ FORBIDDEN_PATTERNS = (
 )
 
 
+def repo_root() -> Path:
+    proc = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        check=True,
+    )
+    return Path(proc.stdout.decode().strip())
+
+
 def tracked_files() -> list:
     proc = subprocess.run(
         ["git", "ls-files", "-z"],
@@ -61,19 +77,45 @@ def offenders(paths) -> list:
     return bad
 
 
-def main() -> int:
+def worktree_pycache(root: Path) -> list:
+    """``__pycache__`` directories on disk under ``src/``, tracked or not."""
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    return sorted(
+        str(path.relative_to(root)) for path in src.rglob("__pycache__")
+        if path.is_dir()
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    check_worktree = "--no-worktree" not in argv
     try:
         paths = tracked_files()
+        root = repo_root()
     except (OSError, subprocess.CalledProcessError) as exc:
-        print(f"check_repo_hygiene: cannot list tracked files: {exc}",
+        print(f"check_repo_hygiene: cannot inspect the repository: {exc}",
               file=sys.stderr)
         return 2
+    failed = False
     bad = offenders(paths)
     if bad:
+        failed = True
         print(f"{len(bad)} tracked artifact(s) violate repo hygiene:")
         for path, pattern in bad:
             print(f"  {path}  (matches {pattern})")
         print("\nuntrack with: git rm -r --cached <path>")
+    if check_worktree:
+        stray = worktree_pycache(root)
+        if stray:
+            failed = True
+            print(f"{len(stray)} stray __pycache__ dir(s) under src/:")
+            for path in stray:
+                print(f"  {path}")
+            print("\nremove with: find src -name __pycache__ -type d "
+                  "-exec rm -rf {} +")
+    if failed:
         return 1
     print(f"repo hygiene ok: {len(paths)} tracked files, no artifacts")
     return 0

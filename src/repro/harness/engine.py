@@ -244,9 +244,17 @@ class ResultCache:
         if payload.get("fingerprint") != fingerprint:
             return None
         try:
-            return RunResult.from_dict(payload["result"])
+            result = RunResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
             return None
+        # Refresh the entry's mtime so LRU eviction (the job service's
+        # cache policy, see repro.service.store) ranks by last *use*, not
+        # last write. Best-effort: a read-only cache still serves hits.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        return result
 
     def put(self, fingerprint: str, job: SimJob, result: RunResult) -> Path:
         path = self.path_for(fingerprint)

@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: a long-lived async job server over the engine.
+
+Many concurrent sweep clients, one warm content-addressed cache,
+backpressure instead of fork-bombs. :class:`SimService` is the asyncio
+core (queue, coalescing, workers, eviction, drain);
+:class:`SimServiceServer` is its stdlib HTTP front end; the matching
+client lives in :mod:`repro.harness.client`. Operator documentation:
+docs/SERVICE.md.
+"""
+
+from .http import SimServiceServer, parse_job_payload, serve_forever
+from .service import (
+    EXECUTION_MODES,
+    JobRecord,
+    ServiceConfig,
+    ServiceStats,
+    SimService,
+)
+from .store import CacheEvictionPolicy, EvictionReport, evict_result_cache
+
+__all__ = [
+    "CacheEvictionPolicy",
+    "EvictionReport",
+    "EXECUTION_MODES",
+    "JobRecord",
+    "ServiceConfig",
+    "ServiceStats",
+    "SimService",
+    "SimServiceServer",
+    "evict_result_cache",
+    "parse_job_payload",
+    "serve_forever",
+]
