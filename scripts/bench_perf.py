@@ -81,9 +81,13 @@ def run_sweep(spec: dict, repeats: int = 1, kernel: str = None) -> tuple:
     the minimum wall time per job is kept (the least-noise estimate) after
     checking that every repeat fingerprints identically. ``kernel``
     selects the request-path engine; fingerprints are kernel-independent
-    by the dual-engine contract, so the gate applies unchanged.
+    by the dual-engine contract, so the gate applies unchanged. The config
+    is always built through ``with_tenants`` - at the default 1 tenant this
+    pins the equivalence the tenancy refactor promises: an explicit
+    single-tenant partition reproduces the recorded fingerprints exactly.
     """
-    config = SystemConfig.bench()
+    tenants = spec.get("tenants", 1)
+    config = SystemConfig.bench().with_tenants(tenants)
     jobs = {}
     results = {}
     for bench in spec["benches"]:
@@ -93,6 +97,7 @@ def run_sweep(spec: dict, repeats: int = 1, kernel: str = None) -> tuple:
             seed=spec["seed"],
             num_sms=config.gpu.num_sms,
             geometry=config.geometry,
+            tenants=tenants,
         )
         for model in spec["models"]:
             label = f"{bench}/{model}"
@@ -153,11 +158,13 @@ def record_ledger(spec: dict, jobs: dict, results: dict, ledger_dir) -> None:
     from repro.harness.engine import SCHEMA_VERSION, JobOutcome, SimJob
     from repro.harness.ledger import LedgerEntry, RunLedger
 
-    config = SystemConfig.bench()
+    tenants = spec.get("tenants", 1)
+    config = SystemConfig.bench().with_tenants(tenants)
     ledger = RunLedger(ledger_dir)
     for label, result in results.items():
         bench, model = label.split("/", 1)
-        job = SimJob.of(config, bench, model, spec["accesses"], spec["seed"])
+        job = SimJob.of(config, bench, model, spec["accesses"], spec["seed"],
+                        tenants=tenants)
         outcome = JobOutcome(
             job, result=result, source="run", wall_s=jobs[label]["wall_s"]
         )
@@ -261,16 +268,26 @@ def main(argv=None) -> int:
                         default=None,
                         help="request-path engine (default: $REPRO_KERNEL, "
                              "then auto)")
+    parser.add_argument("--tenants", type=int, default=1, metavar="T",
+                        help="security domains (default 1; the CI gate runs "
+                             "with an explicit 1-tenant partition). T != 1 "
+                             "stores its trajectory under a separate "
+                             "'<sweep>-xT' name so tenancy entries never "
+                             "collide with the recorded single-tenant ones")
     args = parser.parse_args(argv)
 
     from repro.kernel import numpy_version, resolve_kernel
 
     resolved_kernel = resolve_kernel(args.kernel)
     spec = sweep_spec(args.quick, accesses=args.accesses, seed=args.seed)
+    if args.tenants != 1:
+        spec["tenants"] = args.tenants
+        spec["name"] += f"-x{args.tenants}"
     print(
         f"sweep '{spec['name']}': {len(spec['benches'])} benches x "
         f"{len(spec['models'])} models @ {spec['accesses']} accesses "
-        f"(seed {spec['seed']}, kernel {resolved_kernel})"
+        f"(seed {spec['seed']}, kernel {resolved_kernel}, "
+        f"{args.tenants} tenant(s))"
     )
     jobs, results = run_sweep(spec, repeats=args.repeats, kernel=resolved_kernel)
     summary = summarize(spec, jobs)
@@ -293,7 +310,8 @@ def main(argv=None) -> int:
     sweep_store = store["sweeps"].setdefault(
         spec["name"],
         {"benches": spec["benches"], "models": spec["models"],
-         "accesses": spec["accesses"], "seed": spec["seed"], "entries": []},
+         "accesses": spec["accesses"], "seed": spec["seed"], "entries": [],
+         **({"tenants": spec["tenants"]} if "tenants" in spec else {})},
     )
 
     if args.record:

@@ -317,4 +317,152 @@ class ShardMap:
         return max(0, min(total, start + span) - start)
 
 
+@dataclass(frozen=True)
+class TenantMap:
+    """Tenant partitioning of the SM array, channels, pages, and devices.
+
+    The pure arithmetic behind :class:`~repro.config.PartitionConfig`: a
+    total, disjoint partition of every resource class across
+    ``num_tenants`` security domains.
+
+    * **SMs** - contiguous equal groups, GPC aligned (CPX-style compute
+      partitions). ``num_tenants`` must divide ``num_gpcs``, so a tenant's
+      group is a whole number of GPCs and the SM -> interconnect-port
+      mapping stays valid within the partition.
+    * **Channels** - contiguous equal runs (NPS-style memory partitions).
+      Each channel carries its own L2 slice and metadata caches, so
+      channel disjointness makes those structures tenant-private for free.
+    * **Pages** - contiguous equal spans of the CXL page space (the last
+      tenant absorbs any remainder), mirroring ``"range"`` sharding.
+    * **Devices** - disjoint contiguous subsets when ``num_devices`` is a
+      multiple of ``num_tenants``; otherwise every tenant uses all devices
+      (links shared, per-tenant metadata planes still isolated).
+
+    Like :class:`ShardMap` this is pure arithmetic with no simulator state;
+    the property tests verify each partition is disjoint and covering.
+    """
+
+    geometry: Geometry
+    num_tenants: int
+    total_pages: int
+    num_sms: int
+    num_gpcs: int
+    num_channels: int
+    num_devices: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_tenants < 1:
+            raise AddressError("num_tenants must be at least 1")
+        if self.total_pages <= 0:
+            raise AddressError("total_pages must be positive")
+        if self.num_gpcs < 1 or self.num_sms % self.num_gpcs != 0:
+            raise AddressError("num_sms must divide evenly into num_gpcs")
+        if self.num_gpcs % self.num_tenants != 0:
+            raise AddressError(
+                f"num_tenants={self.num_tenants} must divide "
+                f"num_gpcs={self.num_gpcs}"
+            )
+        if self.num_channels % self.num_tenants != 0:
+            raise AddressError(
+                f"num_tenants={self.num_tenants} must divide "
+                f"num_channels={self.num_channels}"
+            )
+        if self.num_devices < 1:
+            raise AddressError("num_devices must be at least 1")
+
+    # -- page partition ------------------------------------------------------
+    @property
+    def page_span(self) -> int:
+        """Pages per tenant (ceil division; last tenant may run short)."""
+        return -(-self.total_pages // self.num_tenants)
+
+    def tenant_of_page(self, page: int) -> int:
+        """Owning tenant of a CXL page; total over non-negative pages."""
+        if page < 0:
+            raise AddressError(f"negative page {page}")
+        if self.num_tenants == 1:
+            return 0
+        tenant = page // self.page_span
+        return tenant if tenant < self.num_tenants else self.num_tenants - 1
+
+    def tenant_of_pages(self, pages):
+        """Vectorized :meth:`tenant_of_page` over an int array of pages."""
+        from .kernel import require_numpy
+
+        np = require_numpy()
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size and int(pages.min()) < 0:
+            raise AddressError(f"negative page {int(pages.min())}")
+        if self.num_tenants == 1:
+            return np.zeros_like(pages)
+        return np.minimum(pages // self.page_span, self.num_tenants - 1)
+
+    def page_base(self, tenant: int) -> int:
+        """First CXL page of one tenant's span."""
+        self._check_tenant(tenant)
+        return tenant * self.page_span
+
+    def pages_of(self, tenant: int) -> int:
+        """How many CXL pages belong to one tenant's span."""
+        self._check_tenant(tenant)
+        start = tenant * self.page_span
+        return max(0, min(self.total_pages, start + self.page_span) - start)
+
+    # -- compute partition ---------------------------------------------------
+    @property
+    def sms_per_tenant(self) -> int:
+        return self.num_sms // self.num_tenants
+
+    def sm_base(self, tenant: int) -> int:
+        """First SM of one tenant's compute partition."""
+        self._check_tenant(tenant)
+        return tenant * self.sms_per_tenant
+
+    def sm_slot(self, tenant: int, hint: int) -> int:
+        """Global SM index for a tenant-local scheduling hint."""
+        self._check_tenant(tenant)
+        return tenant * self.sms_per_tenant + hint % self.sms_per_tenant
+
+    # -- memory partition ----------------------------------------------------
+    @property
+    def channels_per_tenant(self) -> int:
+        return self.num_channels // self.num_tenants
+
+    def channel_base(self, tenant: int) -> int:
+        """First memory channel of one tenant's partition."""
+        self._check_tenant(tenant)
+        return tenant * self.channels_per_tenant
+
+    def channels_of(self, tenant: int) -> range:
+        """The contiguous channel run one tenant owns."""
+        base = self.channel_base(tenant)
+        return range(base, base + self.channels_per_tenant)
+
+    # -- device partition ----------------------------------------------------
+    @property
+    def devices_shared(self) -> bool:
+        """True when tenants share all CXL devices (count not divisible)."""
+        return self.num_devices % self.num_tenants != 0
+
+    @property
+    def devices_per_tenant(self) -> int:
+        if self.devices_shared:
+            return self.num_devices
+        return self.num_devices // self.num_tenants
+
+    def devices_of(self, tenant: int):
+        """The CXL devices one tenant's pages may be homed on."""
+        self._check_tenant(tenant)
+        if self.devices_shared:
+            return range(self.num_devices)
+        span = self.num_devices // self.num_tenants
+        return range(tenant * span, (tenant + 1) * span)
+
+    def _check_tenant(self, tenant: int) -> None:
+        if not 0 <= tenant < self.num_tenants:
+            raise AddressError(
+                f"tenant {tenant} outside partition of {self.num_tenants}"
+            )
+
+
 DEFAULT_GEOMETRY = Geometry()

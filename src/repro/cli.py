@@ -9,6 +9,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro run nw --cxl-devices 2     # two-device CXL fabric
     python -m repro topology nw --cxl-devices 4
     python -m repro figure topology            # devices x link-bw sweep
+    python -m repro run nw --tenants 2         # two isolated security domains
+    python -m repro figure tenancy             # isolation overhead sweep
     python -m repro trace nw                   # Chrome/Perfetto trace.json
     python -m repro run nw --json > r.json && python -m repro report r.json
     python -m repro list
@@ -67,6 +69,7 @@ from .harness.experiments import (
     run_fig12_bandwidth,
     run_fig13_cxl_bw,
     run_fig14_footprint,
+    run_tenancy_sweep,
     run_topology_scaling,
 )
 from .harness.report import format_table
@@ -82,6 +85,7 @@ FIGURES = {
     "fig14": run_fig14_footprint,
     "ablation": run_ablation,
     "topology": run_topology_scaling,
+    "tenancy": run_tenancy_sweep,
 }
 
 
@@ -101,6 +105,8 @@ def _build_config(args: argparse.Namespace) -> SystemConfig:
         config = config.with_cxl_devices(
             args.cxl_devices, sharding=getattr(args, "sharding", None) or "page"
         )
+    if getattr(args, "tenants", None) is not None:
+        config = config.with_tenants(args.tenants)
     return config
 
 
@@ -122,6 +128,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sharding", choices=("page", "range"), default=None,
                         help="CXL page -> home device policy for "
                              "--cxl-devices > 1 (default page round-robin)")
+    parser.add_argument("--tenants", type=int, default=None, metavar="T",
+                        help="security domains sharing the GPU: partitions "
+                             "SMs, channels, pages and metadata planes into "
+                             "T isolated slices and interleaves T per-tenant "
+                             "trace streams (default 1 = whole machine)")
+    parser.add_argument("--tenant-mix", choices=("mirror", "noisy"),
+                        default=None,
+                        help="co-tenant personalities for --tenants > 1: "
+                             "every tenant runs the benchmark (mirror, "
+                             "default), or tenants 1+ run a bandwidth-"
+                             "hammering variant (noisy neighbor)")
     parser.add_argument("--kernel", choices=("scalar", "batched", "auto"),
                         default=None,
                         help="request-path engine: scalar reference loop or "
@@ -256,14 +273,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             for m in args.models
         }
     else:
+        tenants = getattr(args, "tenants", None) or 1
+        tenant_mix = getattr(args, "tenant_mix", None) or "mirror"
         trace = build_trace(
             args.benchmark, n_accesses=args.accesses, seed=args.seed,
-            num_sms=config.gpu.num_sms,
+            num_sms=config.gpu.num_sms, tenants=tenants,
+            tenant_mix=tenant_mix,
         )
         engine = _build_engine(args, total=len(args.models))
         results = run_benchmark(
             config,
-            TraceSpec(args.benchmark, args.accesses, args.seed),
+            TraceSpec(args.benchmark, args.accesses, args.seed,
+                      tenants=tenants, tenant_mix=tenant_mix),
             models=tuple(args.models),
             engine=engine,
         )
@@ -327,6 +348,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     trace = build_trace(
         args.benchmark, n_accesses=args.accesses, seed=args.seed,
         num_sms=config.gpu.num_sms,
+        tenants=getattr(args, "tenants", None) or 1,
+        tenant_mix=getattr(args, "tenant_mix", None) or "mirror",
     )
     if args.output:
         from .workloads.io import save_trace
@@ -391,8 +414,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
-    """The ``topology`` command: print the resolved CXL fabric layout."""
-    from .address import ShardMap
+    """The ``topology`` command: print the resolved CXL fabric layout,
+    including which SM group, channel run, page span and device subset each
+    security domain owns under the resolved partition."""
+    from .address import ShardMap, TenantMap
 
     config = _build_config(args)
     topo = config.topology
@@ -418,10 +443,13 @@ def cmd_topology(args: argparse.Namespace) -> int:
                   f"{topo.sharding} sharding",
         )
     )
+    trace = None
     if args.benchmark:
         trace = build_trace(
             args.benchmark, n_accesses=args.accesses, seed=args.seed,
             num_sms=config.gpu.num_sms,
+            tenants=getattr(args, "tenants", None) or 1,
+            tenant_mix=getattr(args, "tenant_mix", None) or "mirror",
         )
         shard = ShardMap(
             geometry=config.geometry,
@@ -443,6 +471,44 @@ def cmd_topology(args: argparse.Namespace) -> int:
                       f"sharded by '{topo.sharding}'",
             )
         )
+    part = config.partition
+    tmap = TenantMap(
+        geometry=config.geometry,
+        num_tenants=part.num_tenants,
+        total_pages=(
+            trace.footprint_pages if trace is not None else part.num_tenants
+        ),
+        num_sms=gpu.num_sms,
+        num_gpcs=gpu.num_gpcs,
+        num_channels=gpu.num_channels,
+        num_devices=topo.num_devices,
+    )
+    rows = []
+    for t in range(part.num_tenants):
+        devs = tmap.devices_of(t)
+        rows.append(
+            (
+                part.tenant_name(t),
+                f"{tmap.sm_base(t)}-"
+                f"{tmap.sm_base(t) + tmap.sms_per_tenant - 1}",
+                f"{tmap.channel_base(t)}-"
+                f"{tmap.channel_base(t) + tmap.channels_per_tenant - 1}",
+                (
+                    "shared"
+                    if tmap.devices_shared and part.num_tenants > 1
+                    else f"{devs.start}-{devs.stop - 1}"
+                ),
+                tmap.pages_of(t) if trace is not None else "-",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("tenant", "sms", "channels", "devices", "homed_pages"),
+            rows,
+            title=f"security domains: {part.num_tenants} tenant(s)",
+        )
+    )
     return 0
 
 

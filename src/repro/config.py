@@ -221,6 +221,69 @@ class TopologyConfig:
 
 
 @dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's security domain, bound to a compute/memory partition.
+
+    A tenant owns a contiguous SM group (CPX-style compute partition, GPC
+    aligned so the interconnect port mapping stays valid), a contiguous
+    channel subset with its private L2 slices and per-channel metadata
+    caches (NPS-style memory partition), a slice of the CXL page space, and
+    its own MAC/encryption key domain. Both fields are optional labels and
+    overrides; partition *shape* lives in :class:`PartitionConfig`.
+
+    * ``name`` - human-readable label (defaults to ``tenant<t>``).
+    * ``key_seed`` - override for the tenant's key-derivation seed; the
+      empty string derives a per-tenant seed from the platform seed and the
+      tenant index, which already guarantees distinct key domains.
+    """
+
+    name: str = ""
+    key_seed: str = ""
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Compute/memory partitioning of the GPU + CXL fabric across tenants.
+
+    Models SPX/CPX-style SM-group partitions combined with NPS-style memory
+    partitions: ``num_tenants`` equal slices of the SM array (whole GPCs),
+    the channel array (contiguous runs, each with its own L2 slices and
+    metadata caches), and the CXL page space. The default single tenant
+    owns everything, and every structure the simulator builds in that case
+    is identical to the pre-partitioning code path.
+
+    ``tenants`` optionally names the domains; it must be empty or carry one
+    :class:`TenantSpec` per tenant.
+    """
+
+    num_tenants: int = 1
+    tenants: Tuple[TenantSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_tenants < 1:
+            raise ConfigError("num_tenants must be at least 1")
+        if self.tenants and len(self.tenants) != self.num_tenants:
+            raise ConfigError(
+                f"tenants must be empty or have one entry per tenant "
+                f"({self.num_tenants}), got {len(self.tenants)}"
+            )
+
+    def tenant_name(self, tenant: int) -> str:
+        """Display name of one tenant (``tenant<t>`` unless spec'd)."""
+        if self.tenants and self.tenants[tenant].name:
+            return self.tenants[tenant].name
+        return f"tenant{tenant}"
+
+    def tenant_key_seed(self, tenant: int, platform_seed: str) -> str:
+        """Key-derivation seed of one tenant's cryptographic domain."""
+        if self.tenants and self.tenants[tenant].key_seed:
+            return self.tenants[tenant].key_seed
+        if self.num_tenants == 1:
+            return platform_seed
+        return f"{platform_seed}|tenant{tenant}"
+
+
+@dataclass(frozen=True)
 class SalusConfig:
     """Feature flags for the four Salus optimizations (Section IV-A).
 
@@ -277,6 +340,7 @@ class SystemConfig:
     salus: SalusConfig = field(default_factory=SalusConfig)
     geometry: Geometry = field(default_factory=Geometry)
     topology: TopologyConfig = field(default_factory=TopologyConfig)
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
 
     # Fraction of the application footprint that fits in device memory
     # (Figure 14 sweeps {0.20, 0.35, 0.50}; the main evaluation uses 0.35).
@@ -285,6 +349,23 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if not 0.0 < self.device_capacity_ratio <= 1.0:
             raise ConfigError("device_capacity_ratio must be in (0, 1]")
+        tenants = self.partition.num_tenants
+        if tenants > 1:
+            # Compute partitions are whole GPCs (keeps the SM->GPC
+            # interconnect port mapping valid inside a partition) and
+            # memory partitions are whole channels (each channel's L2
+            # slice and metadata caches stay tenant-private).
+            if self.gpu.num_gpcs % tenants != 0:
+                raise ConfigError(
+                    f"num_tenants={tenants} must divide num_gpcs="
+                    f"{self.gpu.num_gpcs} (GPC-aligned compute partitions)"
+                )
+            if self.gpu.num_channels % tenants != 0:
+                raise ConfigError(
+                    f"num_tenants={tenants} must divide num_channels="
+                    f"{self.gpu.num_channels} (channel-aligned memory "
+                    f"partitions)"
+                )
         if self.geometry.page_bytes % self.gpu.num_channels > 0:
             # Pages interleave over channels in whole chunks; a page smaller
             # than one chunk per channel is fine, but the chunk count must be
@@ -385,6 +466,12 @@ class SystemConfig:
         for name in ("link_bw_ratios", "link_latencies"):
             if name in topo_kwargs:
                 topo_kwargs[name] = tuple(topo_kwargs[name])
+        part_kwargs = cls._init_kwargs(PartitionConfig, data.get("partition", {}))
+        if "tenants" in part_kwargs:
+            part_kwargs["tenants"] = tuple(
+                TenantSpec(**cls._init_kwargs(TenantSpec, spec))
+                for spec in part_kwargs["tenants"]
+            )
         kwargs = {
             "gpu": GPUConfig(**cls._init_kwargs(GPUConfig, data.get("gpu", {}))),
             "security": SecurityConfig(
@@ -393,6 +480,7 @@ class SystemConfig:
             "salus": SalusConfig(**cls._init_kwargs(SalusConfig, data.get("salus", {}))),
             "geometry": Geometry(**cls._init_kwargs(Geometry, data.get("geometry", {}))),
             "topology": TopologyConfig(**topo_kwargs),
+            "partition": PartitionConfig(**part_kwargs),
         }
         if "device_capacity_ratio" in data:
             kwargs["device_capacity_ratio"] = data["device_capacity_ratio"]
@@ -428,4 +516,13 @@ class SystemConfig:
         """Copy with an N-device CXL fabric (uniform links, default sharding)."""
         return replace(
             self, topology=TopologyConfig(num_devices=num_devices, sharding=sharding)
+        )
+
+    def with_tenants(
+        self, num_tenants: int, tenants: Tuple[TenantSpec, ...] = ()
+    ) -> "SystemConfig":
+        """Copy partitioned into ``num_tenants`` equal security domains."""
+        return replace(
+            self,
+            partition=PartitionConfig(num_tenants=num_tenants, tenants=tenants),
         )

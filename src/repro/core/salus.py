@@ -74,32 +74,30 @@ class SalusSecurityModel(TimingSecurityModel):
             geometry=geom, footprint_pages=fabric.footprint_pages
         )
 
-        sectors_per_channel = max(
-            geom.sectors_per_chunk,
-            fabric.num_frames * geom.sectors_per_page // gpu.num_channels,
-        )
         self.groups = DeviceCounterGroups(
             geometry=geom,
             num_channels=gpu.num_channels,
-            data_sectors_per_channel=sectors_per_channel,
+            data_sectors_per_channel=fabric.data_sectors_per_channel,
             minor_bits=sec.minor_counter_bits,
         )
         self._dev_bmt = self.groups.bmt_geometry(sec.bmt_arity)
 
-        # One collapsed-counter plane and Merkle tree per expansion device,
-        # sized by the pages the shard map homes there and keyed by
-        # device-local page indices. Unified addressing means the planes
-        # never interact: a page's metadata lives on its home device forever.
-        self.cxl_state_by_dev = []
+        # One collapsed-counter plane and Merkle tree per security plane -
+        # per expansion device on the single-owner fabric, per (tenant,
+        # device) pair under partitioning - sized by the pages homed there
+        # and keyed by plane-local page indices. Unified addressing means
+        # the planes never interact: a page's metadata lives on its home
+        # plane forever.
+        self.cxl_state_by_plane = []
         self._cxl_bmts = []
-        for dev in range(fabric.num_devices):
-            dev_pages = fabric.shard.pages_on(dev)
+        for plane in range(fabric.num_planes):
+            plane_pages = fabric.plane_pages(plane)
             state = CollapsedCXLMetadata(
                 geometry=geom,
-                footprint_pages=dev_pages,
+                footprint_pages=plane_pages,
                 minor_bits=sec.cxl_minor_counter_bits,
             )
-            self.cxl_state_by_dev.append(state)
+            self.cxl_state_by_plane.append(state)
             if self.cfg.collapsed_counters:
                 self._cxl_bmts.append(state.bmt_geometry(sec.bmt_arity))
             else:
@@ -107,12 +105,14 @@ class SalusSecurityModel(TimingSecurityModel):
                 # space: one 32 B sector per two chunks instead of per page.
                 fine = SalusDeviceLayout(
                     geometry=geom,
-                    data_sectors=dev_pages * geom.sectors_per_page,
+                    data_sectors=plane_pages * geom.sectors_per_page,
                 )
                 self._cxl_bmts.append(fine.bmt_geometry(sec.bmt_arity))
-        # Device-0 plane, kept under the historical name for single-device
-        # callers and tests.
-        self.cxl_state = self.cxl_state_by_dev[0]
+        # Historical names: the per-device list (identical to the plane
+        # list on a single-tenant fabric) and the device-0 plane, for
+        # single-device callers and tests.
+        self.cxl_state_by_dev = self.cxl_state_by_plane
+        self.cxl_state = self.cxl_state_by_plane[0]
 
         self.foa = FetchOnAccessTracker(groups=self.groups)
         # A private tracker by default; the simulator re-attaches its shared
@@ -138,13 +138,13 @@ class SalusSecurityModel(TimingSecurityModel):
 
     # -- small helpers -----------------------------------------------------------
     def _mapping_channel(self, page: int) -> int:
-        """Mapping sectors are hashed/interleaved over the device channels."""
-        return (page // 4) % self.config.gpu.num_channels
+        """Mapping sectors are hashed/interleaved over the owner's channels."""
+        return self.fabric.mapping_channel(page)
 
-    def _cxl_counter_unit(self, dev: int, local_page: int, chunk_in_page: int) -> int:
-        """CXL counter unit of a chunk, in its home device's local space."""
+    def _cxl_counter_unit(self, plane: int, local_page: int, chunk_in_page: int) -> int:
+        """CXL counter unit of a chunk, in its home plane's local space."""
         if self.cfg.collapsed_counters:
-            return self.cxl_state_by_dev[dev].counter_sector_unit(local_page)
+            return self.cxl_state_by_plane[plane].counter_sector_unit(local_page)
         local_chunk = local_page * self.geometry.chunks_per_page + chunk_in_page
         return local_chunk // 2
 
@@ -208,10 +208,11 @@ class SalusSecurityModel(TimingSecurityModel):
         """
         fabric = self.fabric
         geom = self.geometry
-        channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk_in_page)
+        channel, local_chunk = fabric.chunk_location(page, frame, chunk_in_page)
         caches = fabric.device_meta[channel]
         device_chunk = frame * geom.chunks_per_page + chunk_in_page
         dev = fabric.home_of_page(page)
+        plane = fabric.plane_of_page(page)
         local_page = fabric.local_page(page)
         self.stats.bump("salus.first_touch_fetches")
         tracer = fabric.tracer
@@ -242,9 +243,9 @@ class SalusSecurityModel(TimingSecurityModel):
 
         # Epoch freshness: the CXL counter sector and its Merkle path.
         link = self.linkfns_by_device[dev]
-        cxl_meta = fabric.cxl_meta_by_device[dev]
+        cxl_meta = fabric.cxl_meta_by_plane[plane]
         link_rd = link.ctr_rd_prio if critical else link.ctr_rd_post
-        unit = self._cxl_counter_unit(dev, local_page, chunk_in_page)
+        unit = self._cxl_counter_unit(plane, local_page, chunk_in_page)
         ctr_ready, ctr_hit = fabric.metadata_access(
             now, cxl_meta.counter, unit, link_rd, link.ctr_wr,
             TrafficCategory.COUNTER,
@@ -254,14 +255,14 @@ class SalusSecurityModel(TimingSecurityModel):
             ctr_ready = max(
                 ctr_ready,
                 fabric.bmt_read_walk(
-                    now, cxl_meta.bmt, self._cxl_bmts[dev], unit,
+                    now, cxl_meta.bmt, self._cxl_bmts[plane], unit,
                     bmt_rd, link.bmt_wr,
                 ),
             )
 
         # Install: counter group (or conventional majors) plus dirty device
         # metadata lines that will persist via cache writebacks.
-        epoch = self.cxl_state_by_dev[dev].chunk_epoch(local_page, chunk_in_page)
+        epoch = self.cxl_state_by_plane[plane].chunk_epoch(local_page, chunk_in_page)
         if self.cfg.interleaving_friendly_counters:
             self.foa.record_fetch(page, device_chunk, epoch)
         else:
@@ -442,9 +443,10 @@ class SalusSecurityModel(TimingSecurityModel):
         fabric = self.fabric
         drain = now
         dev = fabric.home_of_page(page)
+        plane = fabric.plane_of_page(page)
         local_page = fabric.local_page(page)
-        cxl_state = self.cxl_state_by_dev[dev]
-        self._drop_device_page_metadata(frame)
+        cxl_state = self.cxl_state_by_plane[plane]
+        self._drop_device_page_metadata(frame, page)
 
         if self.cfg.fine_dirty_tracking:
             chunks = dirty_chunks
@@ -461,7 +463,7 @@ class SalusSecurityModel(TimingSecurityModel):
 
         touched_ctr_units = set()
         for chunk in chunks:
-            channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, local_chunk = fabric.chunk_location(page, frame, chunk)
             device_chunk = frame * geom.chunks_per_page + chunk
 
             # Data: read the chunk, re-encrypt under the advanced epoch,
@@ -516,19 +518,19 @@ class SalusSecurityModel(TimingSecurityModel):
                 )
                 fabric.device_write(done, channel, geom.chunk_bytes, TrafficCategory.REENC_DATA)
 
-            touched_ctr_units.add(self._cxl_counter_unit(dev, local_page, chunk))
+            touched_ctr_units.add(self._cxl_counter_unit(plane, local_page, chunk))
             _ = local_chunk
 
         # CXL counter sectors + Merkle updates, once per touched unit.
         link = self.linkfns_by_device[dev]
-        cxl_meta = fabric.cxl_meta_by_device[dev]
+        cxl_meta = fabric.cxl_meta_by_plane[plane]
         for unit in sorted(touched_ctr_units):
             fabric.metadata_access(
                 now, cxl_meta.counter, unit, link.ctr_rd_post, link.ctr_wr,
                 TrafficCategory.COUNTER, write=True,
             )
             fabric.bmt_update_walk(
-                now, cxl_meta.bmt, self._cxl_bmts[dev], unit,
+                now, cxl_meta.bmt, self._cxl_bmts[plane], unit,
                 link.bmt_rd_post, link.bmt_wr,
             )
 

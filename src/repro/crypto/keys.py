@@ -36,3 +36,19 @@ class KeySet:
     def default(cls) -> "KeySet":
         """The fixed key set used by examples and tests."""
         return cls.from_seed(b"salus-hpca-2024")
+
+    @classmethod
+    def for_tenant(
+        cls, tenant: int, platform_seed: bytes = b"salus-hpca-2024"
+    ) -> "KeySet":
+        """Derive one tenant's private key domain from the platform seed.
+
+        Each security domain gets independent encryption and MAC keys, so
+        even metadata structures that share a physical device can never
+        authenticate (or decrypt) another tenant's data. The derivation
+        matches :meth:`~repro.config.PartitionConfig.tenant_key_seed`:
+        ``sha256`` over ``<platform_seed>|tenant<t>``.
+        """
+        if tenant < 0:
+            raise ValueError("tenant must be non-negative")
+        return cls.from_seed(platform_seed + b"|tenant%d" % tenant)

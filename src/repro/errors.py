@@ -49,6 +49,17 @@ class TraceError(ReproError):
     """A workload trace is malformed or references an unmapped address."""
 
 
+class IsolationError(TraceError):
+    """A request crossed its tenant's partition boundary.
+
+    Raised by both execution kernels when a trace record addresses a page
+    outside the issuing tenant's memory partition. Subclassing
+    :class:`TraceError` keeps existing trace-validation handlers working
+    while letting multi-tenant callers treat the violation as attack
+    evidence.
+    """
+
+
 class EngineError(ReproError):
     """One or more jobs of an experiment batch failed to execute."""
 

@@ -239,6 +239,15 @@ class GpuSim:
         self._sector_bytes = self.geometry.sector_bytes
         self._l2_latency = gpu.l2_latency_cycles
         self._map_channels = gpu.num_channels
+        # Tenancy: partitioned fabrics route mapping sectors inside the
+        # owning tenant's channel run and tally migrations per tenant. The
+        # single-tenant hot path keeps the plain scalar arithmetic.
+        self._partitioned = self.fabric.tenant_map is not None
+        self._tenant_fills: Optional[list] = None
+        self._tenant_evicts: Optional[list] = None
+        if self._partitioned:
+            self._tenant_fills = [0] * self.fabric.num_tenants
+            self._tenant_evicts = [0] * self.fabric.num_tenants
 
     # ------------------------------------------------------------------ sampling
     def _sample_metrics(self, now: int) -> None:
@@ -282,6 +291,8 @@ class GpuSim:
     # ------------------------------------------------------------------ fills
     def _fill_page(self, now: int, page: int, frame: int) -> int:
         """Engine fill callback: whole-page copy, or lazy chunk arrival."""
+        if self._tenant_fills is not None:
+            self._tenant_fills[self.fabric.tenant_of_page(page)] += 1
         if not self._chunk_mode:
             return self.model.fill(now, page, frame)
         # Chunk mode: the fault allocates the frame; data arrives per chunk
@@ -317,9 +328,11 @@ class GpuSim:
         security model write the page (or its dirty chunks) back. Returns
         the model's outbound drain time for writeback-buffer backpressure."""
         geom = self.geometry
+        if self._tenant_evicts is not None:
+            self._tenant_evicts[self.fabric.tenant_of_page(page)] += 1
         for block in range(geom.blocks_per_page):
             chunk = block // geom.blocks_per_chunk
-            channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, _ = self.fabric.chunk_location(page, frame, chunk)
             evicted = self.l2[channel].cache.invalidate_line((page, block))
             if evicted is None or not evicted.dirty_sectors:
                 continue
@@ -357,7 +370,10 @@ class GpuSim:
         """Mapping-cache miss: the control logic reads the mapping sector
         from device memory and, if the page is absent, starts the copy
         (Section IV-B). The caller has already counted the miss."""
-        map_channel = (page // 4) % self._map_channels
+        if self._partitioned:
+            map_channel = self.fabric.mapping_channel(page)
+        else:
+            map_channel = (page // 4) % self._map_channels
         map_ready = self.fabric.device_read(
             now, map_channel, MAPPING_SECTOR_BYTES, TrafficCategory.MAPPING,
             priority=True,

@@ -72,11 +72,18 @@ def default_cache_dir() -> str:
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """A generated workload trace, by recipe rather than by content."""
+    """A generated workload trace, by recipe rather than by content.
+
+    ``tenants``/``tenant_mix`` describe multi-tenant interleaving (see
+    :func:`~repro.workloads.generators.generate_multi_tenant_trace`); the
+    defaults reproduce the historical single-tenant recipe exactly.
+    """
 
     bench: str
     n_accesses: int
     seed: int
+    tenants: int = 1
+    tenant_mix: str = "mirror"
 
     def build(self, config: SystemConfig) -> Trace:
         """Materialize the trace for ``config``'s SM count and geometry."""
@@ -86,6 +93,8 @@ class TraceSpec:
             seed=self.seed,
             num_sms=config.gpu.num_sms,
             geometry=config.geometry,
+            tenants=self.tenants,
+            tenant_mix=self.tenant_mix,
         )
 
 
@@ -105,8 +114,14 @@ class SimJob:
         model: str,
         n_accesses: int,
         seed: int,
+        tenants: int = 1,
+        tenant_mix: str = "mirror",
     ) -> "SimJob":
-        return cls(config=config, trace=TraceSpec(bench, n_accesses, seed), model=model)
+        return cls(
+            config=config,
+            trace=TraceSpec(bench, n_accesses, seed, tenants, tenant_mix),
+            model=model,
+        )
 
     def fingerprint(self) -> str:
         """Stable content hash identifying this job's result.
@@ -114,38 +129,44 @@ class SimJob:
         Keyed on the *full* configuration (not just the preset name), the
         trace recipe, the model, and :data:`SCHEMA_VERSION`, so any change
         to any simulated parameter - or to the code contract - lands in a
-        different cache slot.
+        different cache slot. Tenancy keys join the payload only when
+        non-default, so every pre-tenancy job keeps its cache slot.
         """
-        payload = json.dumps(
-            {
-                "schema": SCHEMA_VERSION,
-                "config": self.config.to_dict(),
-                "bench": self.trace.bench,
-                "n_accesses": self.trace.n_accesses,
-                "seed": self.trace.seed,
-                "model": self.model,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "bench": self.trace.bench,
+            "n_accesses": self.trace.n_accesses,
+            "seed": self.trace.seed,
+            "model": self.model,
+        }
+        if self.trace.tenants != 1:
+            payload["tenants"] = self.trace.tenants
+            payload["tenant_mix"] = self.trace.tenant_mix
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def label(self) -> str:
         """Short human-readable identity for logs and error messages."""
+        tenancy = f"x{self.trace.tenants}" if self.trace.tenants != 1 else ""
         return (
-            f"{self.trace.bench}/{self.model}"
+            f"{self.trace.bench}{tenancy}/{self.model}"
             f"@{self.trace.n_accesses}#{self.trace.seed}"
         )
 
     def describe(self) -> Dict:
         """Cache-entry provenance record (what produced this result)."""
-        return {
+        record = {
             "bench": self.trace.bench,
             "model": self.model,
             "n_accesses": self.trace.n_accesses,
             "seed": self.trace.seed,
             "config_fingerprint": self.config.fingerprint(),
         }
+        if self.trace.tenants != 1:
+            record["tenants"] = self.trace.tenants
+            record["tenant_mix"] = self.trace.tenant_mix
+        return record
 
     def execute(
         self,
@@ -170,9 +191,10 @@ class SimJob:
 
     def trace_filename(self) -> str:
         """Deterministic per-job Chrome-trace filename (``--trace`` runs)."""
+        tenancy = f"-t{self.trace.tenants}" if self.trace.tenants != 1 else ""
         return (
             f"{self.trace.bench}-{self.model}"
-            f"-a{self.trace.n_accesses}-s{self.trace.seed}"
+            f"-a{self.trace.n_accesses}-s{self.trace.seed}{tenancy}"
             f"-{self.config.fingerprint()[:8]}.trace.json"
         )
 

@@ -403,6 +403,96 @@ def run_topology_scaling(
     return result
 
 
+# --------------------------------------------------------------------------- tenancy
+def run_tenancy_sweep(
+    config: Optional[SystemConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    tenant_counts: Sequence[int] = (1, 2, 4),
+    n_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    engine: Optional[ExperimentEngine] = None,
+) -> FigureResult:
+    """Isolation overhead vs security-domain count.
+
+    For each tenant count ``T`` the compute/memory fabric is partitioned
+    into ``T`` security domains (:meth:`SystemConfig.with_tenants`) and the
+    suite runs as ``T`` mirrored per-tenant streams over disjoint page
+    spans. The ``*_norm`` columns are the geomean IPC relative to the first
+    tenant count in the sweep - the cost of carving the same hardware into
+    more isolated planes. The ``*_victim`` columns re-run each point with
+    the noisy-neighbor mix (tenant 0 keeps the real workload, every other
+    tenant becomes a streaming migration hammer) and report tenant 0's
+    per-tenant IPC relative to its mirrored-mix value: 1.0 means the
+    partitioning fully shields the victim from its neighbors.
+    """
+    config = config if config is not None else SystemConfig.bench()
+    benches = _benches(benchmarks)
+    models = ("baseline", "salus")
+    points = [(t, config.with_tenants(t)) for t in tenant_counts]
+    jobs = []
+    for t, cfg in points:
+        for bench in benches:
+            for model in models:
+                jobs.append(
+                    SimJob.of(cfg, bench, model, n_accesses, seed, tenants=t)
+                )
+                if t > 1:
+                    jobs.append(
+                        SimJob.of(
+                            cfg, bench, model, n_accesses, seed,
+                            tenants=t, tenant_mix="noisy",
+                        )
+                    )
+    runs = _engine(engine).map(jobs)
+
+    def victim_ipc(res: RunResult) -> Optional[float]:
+        instructions = res.metrics.get("tenant0.instructions")
+        if instructions is None or res.cycles <= 0:
+            return None
+        return instructions / res.cycles
+
+    result = FigureResult(
+        figure="tenancy",
+        title="Tenancy - isolation overhead vs security-domain count",
+        headers=(
+            "tenants", "baseline_norm", "salus_norm",
+            "baseline_victim", "salus_victim",
+        ),
+    )
+    ref_t, ref_cfg = points[0]
+    for t, cfg in points:
+        row: List[object] = [t]
+        victims: Dict[str, float] = {}
+        for model in models:
+            norms = []
+            victim_ratios = []
+            for bench in benches:
+                ref = runs[
+                    SimJob.of(ref_cfg, bench, model, n_accesses, seed, tenants=ref_t)
+                ]
+                run = runs[SimJob.of(cfg, bench, model, n_accesses, seed, tenants=t)]
+                norms.append(run.ipc / ref.ipc if ref.ipc else float("nan"))
+                if t > 1:
+                    noisy = runs[
+                        SimJob.of(
+                            cfg, bench, model, n_accesses, seed,
+                            tenants=t, tenant_mix="noisy",
+                        )
+                    ]
+                    mirror_v = victim_ipc(run)
+                    noisy_v = victim_ipc(noisy)
+                    if mirror_v and noisy_v:
+                        victim_ratios.append(noisy_v / mirror_v)
+            g = geomean(norms)
+            row.append(g)
+            victims[model] = geomean(victim_ratios) if victim_ratios else 1.0
+            result.summary[f"{model}_ipc@{t}t"] = g
+        for model in models:
+            row.append(victims[model])
+        result.rows.append(tuple(row))
+    return result
+
+
 # --------------------------------------------------------------------------- ablation
 def run_ablation(
     config: Optional[SystemConfig] = None,

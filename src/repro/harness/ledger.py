@@ -75,9 +75,11 @@ class LedgerEntry:
     recorded: str = ""
     schema: int = LEDGER_SCHEMA
     metrics: Dict[str, float] = field(default_factory=dict)
+    tenants: int = 1
 
     def label(self) -> str:
-        return f"{self.bench}/{self.model}@{self.n_accesses}#{self.seed}"
+        tenancy = f"x{self.tenants}" if self.tenants != 1 else ""
+        return f"{self.bench}{tenancy}/{self.model}@{self.n_accesses}#{self.seed}"
 
     def to_json_line(self) -> str:
         return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
@@ -122,6 +124,7 @@ class LedgerEntry:
             total_bytes=stats.total_bytes(),
             recorded=time.strftime("%Y-%m-%dT%H:%M:%S"),
             metrics=dict(result.metrics),
+            tenants=getattr(job.trace, "tenants", 1),
         )
 
 

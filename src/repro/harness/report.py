@@ -117,6 +117,33 @@ def _per_device_rows(metrics: Dict[str, float]) -> List[Sequence[object]]:
         )
     return rows
 
+def _per_tenant_rows(metrics: Dict[str, float]) -> List[Sequence[object]]:
+    """Per-security-domain rows from ``tenant<t>.*`` metric namespaces.
+
+    Empty for single-tenant runs, which do not publish the tenant-indexed
+    namespaces (their metric trees are kept bit-identical to the
+    pre-tenancy layout).
+    """
+    tenants = sorted(
+        int(k.split(".")[0][6:])
+        for k in metrics
+        if k.startswith("tenant") and k.endswith(".instructions")
+    )
+    rows: List[Sequence[object]] = []
+    for t in tenants:
+        rows.append(
+            (
+                f"tenant{t}",
+                metrics.get(f"tenant{t}.instructions", 0),
+                metrics.get(f"tenant{t}.device_bytes", 0),
+                metrics.get(f"tenant{t}.security_bytes", 0),
+                metrics.get(f"tenant{t}.fills", 0),
+                metrics.get(f"tenant{t}.evictions", 0),
+            )
+        )
+    return rows
+
+
 def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
     def cell(c: object) -> str:
         if isinstance(c, float):
@@ -196,6 +223,21 @@ def render_markdown_report(
             )
         )
         lines.append("")
+
+        tenant_rows = _per_tenant_rows(result.metrics)
+        if tenant_rows:
+            lines.append("### Per-tenant activity")
+            lines.append("")
+            lines.extend(
+                _md_table(
+                    (
+                        "tenant", "instructions", "device bytes",
+                        "security bytes", "fills", "evictions",
+                    ),
+                    tenant_rows,
+                )
+            )
+            lines.append("")
 
         device_rows = _per_device_rows(result.metrics)
         if device_rows:

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from . import require_numpy
-from ..errors import TraceError
+from ..errors import IsolationError, TraceError
 
 #: Requests per vectorized slab. Large enough to amortize the numpy ops,
 #: small enough that the per-epoch locate warm runs after the early
@@ -122,6 +122,9 @@ def run_batched(sim, requests: Iterable, compute_per_mem: int = 0) -> None:
     is_write = dense.is_write
     sm_arr = dense.sm_id
     warp_arr = dense.warp
+    tenant_arr = dense.tenant
+    tmap = fabric.tenant_map
+    sms_per_tenant = tmap.sms_per_tenant if tmap is not None else 0
 
     now_hwm = sim._now
     ic_booked = 0
@@ -130,8 +133,20 @@ def run_batched(sim, requests: Iterable, compute_per_mem: int = 0) -> None:
         a = addrs[start:stop]
         # Bounds check the whole slab up front; process the valid prefix
         # (matching the scalar engine's partial progress) before raising.
+        # Partitioned fabrics additionally screen every in-bounds request
+        # against its tenant's page span, exactly as the scalar engine does
+        # per request; the first bad row of either kind caps the prefix.
         oob = (a < 0) | (a >= footprint_bytes)
-        bad_local = int(oob.argmax()) if oob.any() else -1
+        if tmap is None:
+            bad = oob
+            ten_v = None
+            owner_v = None
+        else:
+            ten_v = tenant_arr[start:stop]
+            owner_v = tmap.tenant_of_pages(a // page_bytes)
+            bad_ten = (ten_v < 0) | (ten_v >= tmap.num_tenants)
+            bad = oob | (~oob & (bad_ten | (owner_v != ten_v)))
+        bad_local = int(bad.argmax()) if bad.any() else -1
         limit = bad_local if bad_local >= 0 else int(a.shape[0])
 
         # Epoch-vectorized static arithmetic: one shot of array ops covers
@@ -141,7 +156,15 @@ def run_batched(sim, requests: Iterable, compute_per_mem: int = 0) -> None:
         in_page = av - pages_v * page_bytes
         bip_v = in_page // block_bytes
         sib_v = (in_page - bip_v * block_bytes) // sector_bytes
-        smx_v = sm_arr[start:start + limit] % num_sms
+        if tmap is None:
+            smx_v = sm_arr[start:start + limit] % num_sms
+        else:
+            # Scalar: sms[tmap.sm_slot(ten, req.sm)] - tenant SM group base
+            # plus the hint folded into the group.
+            smx_v = (
+                ten_v[:limit] * sms_per_tenant
+                + sm_arr[start:start + limit] % sms_per_tenant
+            )
         gpc_v = smx_v // sms_per_gpc
         warp_v = warp_arr[start:start + limit] % warps
 
@@ -234,18 +257,36 @@ def run_batched(sim, requests: Iterable, compute_per_mem: int = 0) -> None:
             if completion > wr[warp]:
                 wr[warp] = completion
             if tracing:
+                targs = {"addr": addr, "warp": warp}
+                if tmap is not None:
+                    # Enforcement already proved the requester owns the
+                    # page, so the page's owner IS the request's tenant.
+                    targs["tenant"] = tmap.tenant_of_page(page)
                 tracer.span(
                     f"sm{sm.sm_id}", "write" if w else "read",
                     t_issue, completion - t_issue, cat="request",
-                    args={"addr": addr, "warp": warp},
+                    args=targs,
                 )
 
         if bad_local >= 0:
             interconnect.requests += ic_booked
             sim._now = now_hwm
-            raise TraceError(
-                f"trace address {int(a[bad_local]):#x} outside footprint "
-                f"of {footprint_bytes} bytes"
+            if bool(oob[bad_local]):
+                raise TraceError(
+                    f"trace address {int(a[bad_local]):#x} outside footprint "
+                    f"of {footprint_bytes} bytes"
+                )
+            # Tenant screen tripped: raise the same IsolationError the
+            # scalar engine raises for this row, invalid-id check first.
+            ten = int(ten_v[bad_local])
+            if not 0 <= ten < tmap.num_tenants:
+                raise IsolationError(
+                    f"request tenant {ten} outside partition of "
+                    f"{tmap.num_tenants} tenants"
+                )
+            raise IsolationError(
+                f"tenant {ten} request for address {int(a[bad_local]):#x} "
+                f"crosses into tenant {int(owner_v[bad_local])}'s pages"
             )
 
     interconnect.requests += ic_booked

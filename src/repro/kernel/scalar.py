@@ -11,12 +11,19 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from ..errors import TraceError
+from ..errors import IsolationError, TraceError
 from ..memsys.request import MemoryRequest
 
 
 def run_scalar(sim, requests: Iterable[MemoryRequest], compute_per_mem: int = 0) -> None:
-    """Drive ``sim`` through ``requests`` one request at a time."""
+    """Drive ``sim`` through ``requests`` one request at a time.
+
+    On a partitioned fabric (``num_tenants > 1``) each request is routed to
+    its tenant's SM group and checked against the tenant's page span; a
+    cross-tenant access raises :class:`IsolationError` before the request
+    issues. The single-tenant path (``tenant_map is None``) is the original
+    frozen trajectory, untouched.
+    """
     gpu = sim.config.gpu
     block_instructions = 1 + max(0, compute_per_mem)
     footprint_bytes = sim.fabric.footprint_pages * sim.geometry.page_bytes
@@ -28,6 +35,7 @@ def run_scalar(sim, requests: Iterable[MemoryRequest], compute_per_mem: int = 0)
     page_bytes = sim._page_bytes
     sample_queue = sim._sample_queue
     tracing = sim.tracer.enabled
+    tmap = sim.fabric.tenant_map
 
     for req in requests:
         if not 0 <= req.cxl_addr < footprint_bytes:
@@ -35,7 +43,22 @@ def run_scalar(sim, requests: Iterable[MemoryRequest], compute_per_mem: int = 0)
                 f"trace address {req.cxl_addr:#x} outside footprint "
                 f"of {footprint_bytes} bytes"
             )
-        sm = sms[req.sm % num_sms]
+        if tmap is None:
+            sm = sms[req.sm % num_sms]
+        else:
+            ten = req.tenant
+            if not 0 <= ten < tmap.num_tenants:
+                raise IsolationError(
+                    f"request tenant {ten} outside partition of "
+                    f"{tmap.num_tenants} tenants"
+                )
+            owner = tmap.tenant_of_page(req.cxl_addr // page_bytes)
+            if owner != ten:
+                raise IsolationError(
+                    f"tenant {ten} request for address {req.cxl_addr:#x} "
+                    f"crosses into tenant {owner}'s pages"
+                )
+            sm = sms[tmap.sm_slot(ten, req.sm)]
         gpc = sm.sm_id // sms_per_gpc
         warp = sm.pick_warp(req.warp)
         t_issue = sm.issue(warp, block_instructions)
@@ -50,8 +73,11 @@ def run_scalar(sim, requests: Iterable[MemoryRequest], compute_per_mem: int = 0)
         completion = sim._access_memory(t_mem, req.cxl_addr, req.is_write, frame)
         sm.complete(warp, completion)
         if tracing:
+            args = {"addr": req.cxl_addr, "warp": warp}
+            if tmap is not None:
+                args["tenant"] = req.tenant
             sim.tracer.span(
                 f"sm{sm.sm_id}", "write" if req.is_write else "read",
                 t_issue, completion - t_issue, cat="request",
-                args={"addr": req.cxl_addr, "warp": warp},
+                args=args,
             )

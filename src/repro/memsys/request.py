@@ -23,13 +23,17 @@ class MemoryRequest:
 
     ``cxl_addr`` is a byte address in the permanent CXL (home) address space,
     already aligned to a sector by the trace layer. ``sm`` and ``warp``
-    identify the issuing context for latency-hiding bookkeeping.
+    identify the issuing context for latency-hiding bookkeeping. ``tenant``
+    names the security domain that issued the request; under partitioning
+    the kernels treat ``sm`` as a tenant-local hint and enforce that the
+    address lies inside the tenant's page span.
     """
 
     cxl_addr: int
     access: Access
     sm: int = 0
     warp: int = 0
+    tenant: int = 0
 
     @property
     def is_write(self) -> bool:

@@ -43,12 +43,8 @@ class BaselineSecurityModel(TimingSecurityModel):
         geom = self.geometry
         gpu = self.config.gpu
 
-        device_sectors_per_channel = max(
-            geom.sectors_per_chunk,
-            fabric.num_frames * geom.sectors_per_page // gpu.num_channels,
-        )
         self._dev_layout = ConventionalLayout(
-            geometry=geom, data_sectors=device_sectors_per_channel
+            geometry=geom, data_sectors=fabric.data_sectors_per_channel
         )
         self._dev_bmt = self._dev_layout.bmt_geometry(self.config.security.bmt_arity)
         self._dev_counters: Dict[int, ConventionalSplitCounterStore] = {
@@ -58,19 +54,22 @@ class BaselineSecurityModel(TimingSecurityModel):
             for c in range(gpu.num_channels)
         }
 
-        # One CXL-side security plane per expansion device, each sized by the
-        # pages the shard map homes there and keyed by device-local sectors.
+        # One CXL-side security plane per (tenant, expansion device) pair -
+        # just per device on the single-owner fabric - each sized by the
+        # pages homed there and keyed by plane-local sectors. A shared
+        # device carries fully separate counter stores and Merkle trees for
+        # every resident tenant.
         self._cxl_layouts: List[ConventionalLayout] = []
         self._cxl_bmts = []
-        self._cxl_counters_by_dev: List[ConventionalSplitCounterStore] = []
-        for dev in range(fabric.num_devices):
-            dev_sectors = fabric.shard.pages_on(dev) * geom.sectors_per_page
-            layout = ConventionalLayout(geometry=geom, data_sectors=dev_sectors)
+        self._cxl_counters_by_plane: List[ConventionalSplitCounterStore] = []
+        for plane in range(fabric.num_planes):
+            plane_sectors = fabric.plane_pages(plane) * geom.sectors_per_page
+            layout = ConventionalLayout(geometry=geom, data_sectors=plane_sectors)
             self._cxl_layouts.append(layout)
             self._cxl_bmts.append(
                 layout.bmt_geometry(self.config.security.bmt_arity)
             )
-            self._cxl_counters_by_dev.append(
+            self._cxl_counters_by_plane.append(
                 ConventionalSplitCounterStore(
                     minor_bits=self.config.security.minor_counter_bits
                 )
@@ -170,9 +169,10 @@ class BaselineSecurityModel(TimingSecurityModel):
             return install_done
         self.stats.bump("baseline.secure_fills")
         dev = fabric.home_of_page(page)
-        cxl_meta = fabric.cxl_meta_by_device[dev]
-        cxl_layout = self._cxl_layouts[dev]
-        cxl_bmt = self._cxl_bmts[dev]
+        plane = fabric.plane_of_page(page)
+        cxl_meta = fabric.cxl_meta_by_plane[plane]
+        cxl_layout = self._cxl_layouts[plane]
+        cxl_bmt = self._cxl_bmts[plane]
         # Ciphertext streams over the link in parallel with the metadata legs
         # below, but it cannot be installed into device memory until it has
         # been decrypted (CXL counters) and re-encrypted (device counters) -
@@ -223,7 +223,7 @@ class BaselineSecurityModel(TimingSecurityModel):
         spc = geom.sectors_per_chunk
         install_done = crypto_start
         for chunk in range(geom.chunks_per_page):
-            channel, _ = fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, _ = fabric.chunk_location(page, frame, chunk)
             done = fabric.aes_engines[channel].book(crypto_start, 2 * spc)
             fabric.mac_engines[channel].book(crypto_start, spc)
             if done > crypto_done:
@@ -237,7 +237,7 @@ class BaselineSecurityModel(TimingSecurityModel):
         # 3. Install device-side counters (every sector is a write here),
         #    MACs and tree updates.
         for chunk in range(geom.chunks_per_page):
-            channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, local_chunk = fabric.chunk_location(page, frame, chunk)
             caches = fabric.device_meta[channel]
             store = self._dev_counters[channel]
             fns = self.chfns[channel]
@@ -271,8 +271,9 @@ class BaselineSecurityModel(TimingSecurityModel):
         fabric = self.fabric
         self.stats.bump("baseline.secure_chunk_fills")
         dev = fabric.home_of_page(page)
-        cxl_meta = fabric.cxl_meta_by_device[dev]
-        cxl_layout = self._cxl_layouts[dev]
+        plane = fabric.plane_of_page(page)
+        cxl_meta = fabric.cxl_meta_by_plane[plane]
+        cxl_layout = self._cxl_layouts[plane]
         link_ready = fabric.link_read(
             now, geom.chunk_bytes, TrafficCategory.DATA, device=dev
         )
@@ -292,7 +293,7 @@ class BaselineSecurityModel(TimingSecurityModel):
             meta_ready = max(
                 meta_ready,
                 fabric.bmt_read_walk(
-                    now, cxl_meta.bmt, self._cxl_bmts[dev], ctr_unit,
+                    now, cxl_meta.bmt, self._cxl_bmts[plane], ctr_unit,
                     link.bmt_rd, link.bmt_wr,
                 ),
             )
@@ -305,7 +306,7 @@ class BaselineSecurityModel(TimingSecurityModel):
             meta_ready = max(meta_ready, ready)
 
         # Decrypt + re-encrypt the chunk, install device metadata.
-        channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk_in_page)
+        channel, local_chunk = fabric.chunk_location(page, frame, chunk_in_page)
         spc = geom.sectors_per_chunk
         crypto_start = max(link_ready, meta_ready)
         crypto_done = fabric.aes_engines[channel].book(crypto_start, 2 * spc)
@@ -340,7 +341,7 @@ class BaselineSecurityModel(TimingSecurityModel):
     ) -> int:
         if not page_dirty:
             # Device-side metadata for the page is simply discarded.
-            self._drop_device_page_metadata(frame)
+            self._drop_device_page_metadata(frame, page)
             return now
         geom = self.geometry
         fabric = self.fabric
@@ -351,14 +352,15 @@ class BaselineSecurityModel(TimingSecurityModel):
         self.stats.bump("baseline.secure_evictions")
         spc = geom.sectors_per_chunk
         dev = fabric.home_of_page(page)
-        cxl_meta = fabric.cxl_meta_by_device[dev]
-        cxl_layout = self._cxl_layouts[dev]
+        plane = fabric.plane_of_page(page)
+        cxl_meta = fabric.cxl_meta_by_plane[plane]
+        cxl_layout = self._cxl_layouts[plane]
 
         # 1. Read and verify device-side metadata, decrypt, re-encrypt with
         #    CXL counters (every sector writes back under the coarse bit).
         base_sector = fabric.local_page(page) * geom.sectors_per_page
         for chunk in all_chunks:
-            channel, local_chunk = fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, local_chunk = fabric.chunk_location(page, frame, chunk)
             caches = fabric.device_meta[channel]
             fns = self.chfns[channel]
             local_base = local_chunk * spc
@@ -382,7 +384,7 @@ class BaselineSecurityModel(TimingSecurityModel):
             fabric.mac_engines[channel].book(now, spc)
 
         # 2. Advance CXL counters for every sector and write CXL metadata.
-        for result in self._cxl_counters_by_dev[dev].increment_span(
+        for result in self._cxl_counters_by_plane[plane].increment_span(
             base_sector, geom.sectors_per_page
         ):
             nbytes = len(result.reencrypt_units) * geom.sector_bytes
@@ -404,14 +406,14 @@ class BaselineSecurityModel(TimingSecurityModel):
                 TrafficCategory.COUNTER,
             )
             fabric.bmt_update_walk(
-                now, cxl_meta.bmt, self._cxl_bmts[dev], unit,
+                now, cxl_meta.bmt, self._cxl_bmts[plane], unit,
                 link.bmt_rd_post, link.bmt_wr,
             )
         for _ in range(geom.blocks_per_page):
             wrote = fabric.link_write(now, 32, TrafficCategory.MAC, device=dev)
             if wrote > drain:
                 drain = wrote
-        self._drop_device_page_metadata(frame)
+        self._drop_device_page_metadata(frame, page)
         return drain
 
     # ------------------------------------------------------------------ lifecycle

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from ..address import ShardMap
+from ..address import ShardMap, TenantMap
 from ..config import SystemConfig
+from ..crypto.keys import KeySet
 from ..errors import SimulationError
 from ..memsys.channel import Channel, CryptoEngine, LinkPair
 from ..memsys.interleave import Interleaver
@@ -146,6 +147,85 @@ class MemoryFabric:
         self.num_frames = max(
             1, int(footprint_pages * config.device_capacity_ratio)
         )
+        # Tenant partitioning (None = the classic single-owner fabric; every
+        # structure above is then byte-identical to the pre-tenancy code).
+        # With multiple tenants, each security domain owns a contiguous SM
+        # group, channel run, and page span (see TenantMap); metadata state
+        # is keyed per *plane* - one (tenant, device) security plane with
+        # its own controller caches, counter space, and Merkle root.
+        partition = config.partition
+        self.num_tenants = partition.num_tenants
+        self.tenant_map: Optional[TenantMap] = None
+        self._tenant_interleavers: List[Interleaver] = []
+        self._plane_by_page: Optional[List[int]] = None
+        self._plane_counts: Optional[List[int]] = None
+        self.num_planes = topology.num_devices
+        if partition.num_tenants > 1:
+            tm = TenantMap(
+                geometry=self.geometry,
+                num_tenants=partition.num_tenants,
+                total_pages=footprint_pages,
+                num_sms=gpu.num_sms,
+                num_gpcs=gpu.num_gpcs,
+                num_channels=gpu.num_channels,
+                num_devices=topology.num_devices,
+            )
+            self.tenant_map = tm
+            # Each tenant interleaves its frames' chunks over its own
+            # channel run; chunk_location() offsets by the run base.
+            self._tenant_interleavers = [
+                Interleaver(self.geometry, tm.channels_per_tenant)
+                for _ in range(tm.num_tenants)
+            ]
+            # Per-tenant shard maps over the tenant's device subset, feeding
+            # the page -> (home device, plane, plane-local page) tables.
+            tenant_shards = [
+                ShardMap(
+                    geometry=self.geometry,
+                    num_devices=tm.devices_per_tenant,
+                    policy=topology.sharding,
+                    total_pages=max(1, tm.pages_of(t)),
+                )
+                for t in range(tm.num_tenants)
+            ]
+            self.num_planes = tm.num_tenants * topology.num_devices
+            plane_counts = [0] * self.num_planes
+            home_by_page = [0] * footprint_pages
+            plane_by_page = [0] * footprint_pages
+            local_by_page = [0] * footprint_pages
+            for page in range(footprint_pages):
+                t = tm.tenant_of_page(page)
+                tpage = page - tm.page_base(t)
+                dev = tenant_shards[t].home_of_page(tpage) + tm.devices_of(t).start
+                plane = t * topology.num_devices + dev
+                home_by_page[page] = dev
+                plane_by_page[page] = plane
+                local_by_page[page] = tenant_shards[t].local_page(tpage)
+                plane_counts[plane] += 1
+            self._home_by_page = home_by_page
+            self._local_by_page = local_by_page
+            self._plane_by_page = plane_by_page
+            self._plane_counts = plane_counts
+            # Isolated controller metadata caches per security plane: a
+            # device shared by several tenants carries one full cache set
+            # per resident domain, so no cache line is ever shared across
+            # tenants. The by-device alias keeps any residual home-device
+            # indexing in bounds (planes >= devices).
+            self.cxl_meta_by_plane: List[MetadataCaches] = [
+                MetadataCaches.build(-(p + 1), sec) for p in range(self.num_planes)
+            ]
+            self.cxl_meta_by_device = self.cxl_meta_by_plane
+        else:
+            # Single tenant: planes are exactly the per-device cache sets.
+            self.cxl_meta_by_plane = self.cxl_meta_by_device
+        # One cryptographic domain per tenant (single tenant: the platform
+        # key set, unchanged).
+        self.keys_by_tenant: Tuple[KeySet, ...] = tuple(
+            KeySet.from_seed(
+                partition.tenant_key_seed(t, "salus-hpca-2024").encode("utf-8")
+            )
+            for t in range(partition.num_tenants)
+        )
         # locate() is a pure function of (cxl_addr, frame); the per-request
         # walk calls it for every demand access and every dirty-sector
         # writeback, so the coordinates are memoized. The key packs both
@@ -153,22 +233,23 @@ class MemoryFabric:
         self._loc_cache: dict = {}
         self._single_device = topology.num_devices == 1
         # Page -> (home device, device-local page) lookup tables over the
-        # whole footprint, computed in one vectorized shot with the ShardMap
-        # batch queries. The security models' per-request shard math
-        # (home_of_page / local_page) then consumes these batch results as
-        # plain list indexing. Built only when there is real sharding to
-        # precompute and numpy is present; otherwise the scalar arithmetic
-        # answers directly.
-        self._home_by_page: Optional[List[int]] = None
-        self._local_by_page: Optional[List[int]] = None
-        if not self._single_device:
-            from ..kernel import numpy_or_none
+        # whole footprint. Multi-tenant fabrics always build them (above,
+        # from the per-tenant shard maps - the plane-local index is not a
+        # global-shard function). Single-tenant multi-device fabrics build
+        # them in one vectorized shot with the ShardMap batch queries when
+        # numpy is present; otherwise the scalar arithmetic answers
+        # directly.
+        if self.tenant_map is None:
+            self._home_by_page: Optional[List[int]] = None
+            self._local_by_page: Optional[List[int]] = None
+            if not self._single_device:
+                from ..kernel import numpy_or_none
 
-            np = numpy_or_none()
-            if np is not None:
-                pages = np.arange(footprint_pages, dtype=np.int64)
-                self._home_by_page = self.shard.home_of_pages(pages).tolist()
-                self._local_by_page = self.shard.local_pages(pages).tolist()
+                np = numpy_or_none()
+                if np is not None:
+                    pages = np.arange(footprint_pages, dtype=np.int64)
+                    self._home_by_page = self.shard.home_of_pages(pages).tolist()
+                    self._local_by_page = self.shard.local_pages(pages).tolist()
 
     # -- topology ------------------------------------------------------------
     @property
@@ -183,21 +264,105 @@ class MemoryFabric:
 
     def home_of_page(self, page: int) -> int:
         """Home expansion device of a CXL page (precomputed-table lookup)."""
-        if self._single_device:
-            return 0
         table = self._home_by_page
         if table is not None and 0 <= page < len(table):
             return table[page]
+        if self._single_device:
+            return 0
         return self.shard.home_of_page(page)
 
     def local_page(self, page: int) -> int:
-        """Device-local page index (precomputed-table lookup)."""
-        if self._single_device:
-            return page
+        """Plane-local page index (precomputed-table lookup).
+
+        Single tenant: the page's index within its home device's slice.
+        Multi-tenant: its index within the (tenant, device) security plane,
+        which per-plane metadata layouts and Merkle trees are keyed by.
+        """
         table = self._local_by_page
         if table is not None and 0 <= page < len(table):
             return table[page]
+        if self._single_device:
+            return page
         return self.shard.local_page(page)
+
+    # -- tenancy -------------------------------------------------------------
+    def tenant_of_page(self, page: int) -> int:
+        """Owning tenant of a CXL page (0 on the single-owner fabric)."""
+        tm = self.tenant_map
+        return 0 if tm is None else tm.tenant_of_page(page)
+
+    def plane_of_page(self, page: int) -> int:
+        """Security plane of a CXL page.
+
+        A plane is one (tenant, home device) pair: the unit that owns a
+        controller metadata-cache set, a counter space, and a Merkle root.
+        Single tenant: plane == home device, so plane-indexed model state
+        is laid out exactly as the historical per-device state.
+        """
+        table = self._plane_by_page
+        if table is not None and 0 <= page < len(table):
+            return table[page]
+        return self.home_of_page(page)
+
+    def plane_device(self, plane: int) -> int:
+        """The expansion device whose link carries a plane's traffic."""
+        if self.tenant_map is None:
+            return plane
+        return plane % self.num_devices
+
+    def plane_pages(self, plane: int) -> int:
+        """How many CXL pages a security plane is home to (>= 1 for sizing)."""
+        if self._plane_counts is not None:
+            return max(1, self._plane_counts[plane])
+        return self.shard.pages_on(plane)
+
+    def chunk_location(self, page: int, frame: int, chunk_in_page: int) -> Tuple[int, int]:
+        """Map a resident chunk to its (channel, local chunk slot).
+
+        Single tenant: the classic whole-array interleaving. Multi-tenant:
+        the owning tenant's frames interleave over its private channel run
+        only, so every device-side structure a channel owns (L2 slice,
+        metadata caches, counter stores, crypto engines) stays
+        tenant-private.
+        """
+        tm = self.tenant_map
+        if tm is None:
+            return self.interleaver.device_chunk_location(frame, chunk_in_page)
+        tenant = tm.tenant_of_page(page)
+        channel, local_chunk = self._tenant_interleavers[tenant].device_chunk_location(
+            frame, chunk_in_page
+        )
+        return tm.channel_base(tenant) + channel, local_chunk
+
+    def mapping_channel(self, page: int) -> int:
+        """Device channel holding a page's mapping sector.
+
+        Mapping sectors are hashed/interleaved over the page owner's
+        channels (all of them for the single-owner fabric).
+        """
+        tm = self.tenant_map
+        if tm is None:
+            return (page // 4) % self.config.gpu.num_channels
+        tenant = tm.tenant_of_page(page)
+        return tm.channel_base(tenant) + (page // 4) % tm.channels_per_tenant
+
+    @property
+    def data_sectors_per_channel(self) -> int:
+        """Channel-local data-sector span the device metadata must cover.
+
+        Frames interleave over the owning tenant's channel run, so with
+        partitioning each channel covers a ``channels_per_tenant`` share of
+        the frame space rather than a ``num_channels`` share. The device
+        counter stores and layouts of both security models size from this.
+        """
+        geom = self.geometry
+        channels = self.config.gpu.num_channels
+        if self.tenant_map is not None:
+            channels = self.tenant_map.channels_per_tenant
+        return max(
+            geom.sectors_per_chunk,
+            self.num_frames * geom.sectors_per_page // channels,
+        )
 
     # -- coordinates ---------------------------------------------------------
     def locate(self, cxl_addr: int, frame: int) -> SectorLoc:
@@ -210,7 +375,7 @@ class MemoryFabric:
         sector_in_page = geom.sector_in_page(cxl_addr)
         chunk_in_page = geom.chunk_in_page(cxl_addr)
         sector_in_chunk = geom.sector_in_chunk(cxl_addr)
-        channel, local_chunk = self.interleaver.device_chunk_location(frame, chunk_in_page)
+        channel, local_chunk = self.chunk_location(page, frame, chunk_in_page)
         local_sector = local_chunk * geom.sectors_per_chunk + sector_in_chunk
         device_chunk = frame * geom.chunks_per_page + chunk_in_page
         loc = SectorLoc(
@@ -254,6 +419,14 @@ class MemoryFabric:
             return []
         geom = self.geometry
         geom._check_addr(int(addrs.min()))
+        if self.tenant_map is not None:
+            # Tenant-aware channel routing is per-page; the coordinates are
+            # pure and memoized, so a scalar sweep in input order matches
+            # the merged vectorized result exactly.
+            return [
+                self.locate(int(a), int(f))
+                for a, f in zip(addrs.tolist(), frs.tolist())
+            ]
         ts_arr = np.arange(n, dtype=np.int64) if ts is None else np.asarray(ts, dtype=np.int64)
         pages = addrs // geom.page_bytes
         in_page = addrs % geom.page_bytes
@@ -451,7 +624,8 @@ class MemoryFabric:
                 for line in cache.flush_dirty():
                     for _ in line.dirty_sectors:
                         self.device_write(now, channel, nbytes, category)
-        for device, caches in enumerate(self.cxl_meta_by_device):
+        for plane, caches in enumerate(self.cxl_meta_by_plane):
+            device = self.plane_device(plane)
             for kind, cache in (
                 ("counter", caches.counter),
                 ("mac", caches.mac),

@@ -166,7 +166,7 @@ class TimingSecurityModel(ABC):
             now, geom.chunk_bytes, TrafficCategory.DATA,
             device=self.fabric.home_of_page(page),
         )
-        channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk_in_page)
+        channel, _ = self.fabric.chunk_location(page, frame, chunk_in_page)
         wrote = self.fabric.device_write(
             link_ready, channel, geom.chunk_bytes, TrafficCategory.DATA
         )
@@ -190,7 +190,7 @@ class TimingSecurityModel(ABC):
         )
         done = link_ready
         for chunk in range(geom.chunks_per_page):
-            channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, _ = self.fabric.chunk_location(page, frame, chunk)
             wrote = self.fabric.device_write(
                 link_ready, channel, geom.chunk_bytes, TrafficCategory.DATA
             )
@@ -198,7 +198,7 @@ class TimingSecurityModel(ABC):
                 done = wrote
         return link_ready, done
 
-    def _drop_device_page_metadata(self, frame: int) -> None:
+    def _drop_device_page_metadata(self, frame: int, page: int) -> None:
         """Invalidate a just-evicted page's device MAC sectors, no writeback.
 
         Once a page leaves device memory its device-side MACs are dead state:
@@ -209,9 +209,7 @@ class TimingSecurityModel(ABC):
         """
         geom = self.geometry
         for chunk in range(geom.chunks_per_page):
-            channel, local_chunk = self.fabric.interleaver.device_chunk_location(
-                frame, chunk
-            )
+            channel, local_chunk = self.fabric.chunk_location(page, frame, chunk)
             mac_cache = self.fabric.device_meta[channel].mac
             first_unit = local_chunk * geom.blocks_per_chunk
             for block in range(geom.blocks_per_chunk):
@@ -233,7 +231,7 @@ class TimingSecurityModel(ABC):
             return now
         gathered = now
         for chunk in chunks:
-            channel, _ = self.fabric.interleaver.device_chunk_location(frame, chunk)
+            channel, _ = self.fabric.chunk_location(page, frame, chunk)
             read_done = self.fabric.device_read(
                 now, channel, geom.chunk_bytes, TrafficCategory.DATA, critical=False
             )

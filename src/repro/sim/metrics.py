@@ -18,6 +18,10 @@ namespace the observability layer exports (documented exhaustively in
   - metadata-cache hits/misses;
 * ``gpu.mapping.gpc<i>.*`` - mapping-cache hits/misses;
 * ``migration.*`` - fills, evictions, writeback-buffer stall cycles;
+* ``tenant<t>.*`` - per-security-domain rollups (instructions, device/
+  security bytes, fills, evictions), emitted only on partitioned fabrics
+  (``num_tenants > 1``); partitioned fabrics also replace
+  ``meta.cxl.dev<i>.*`` with per-plane ``meta.cxl.plane<p>.*`` namespaces;
 * ``sim.*`` - instructions and final cycle.
 
 :func:`collect_metrics` harvests the flat ``{dotted_name: number}`` tree
@@ -92,9 +96,16 @@ def collect_metrics(sim) -> MetricTree:
     for i, caches in enumerate(fabric.device_meta):
         tree.update(caches.as_metrics(f"meta.device{i}"))
     tree.update(fabric.cxl_meta.as_metrics("meta.cxl"))
-    if len(fabric.cxl_meta_by_device) > 1:
-        for d, caches in enumerate(fabric.cxl_meta_by_device):
-            tree.update(caches.as_metrics(f"meta.cxl.dev{d}"))
+    if fabric.tenant_map is None:
+        if len(fabric.cxl_meta_by_device) > 1:
+            for d, caches in enumerate(fabric.cxl_meta_by_device):
+                tree.update(caches.as_metrics(f"meta.cxl.dev{d}"))
+    else:
+        # Partitioned fabrics key expander metadata by security plane
+        # (tenant x home device), not by device: the ``dev<i>`` alias would
+        # mislabel plane-private caches as device-shared ones.
+        for p, caches in enumerate(fabric.cxl_meta_by_plane):
+            tree.update(caches.as_metrics(f"meta.cxl.plane{p}"))
 
     for i, cache in enumerate(sim.miss_handler.caches):
         tree[f"gpu.mapping.gpc{i}.hits"] = cache.hits
@@ -107,6 +118,31 @@ def collect_metrics(sim) -> MetricTree:
         for d in range(sim.engine.num_devices):
             tree[f"migration.dev{d}.fills"] = sim.engine.fills_by_device[d]
             tree[f"migration.dev{d}.evictions"] = sim.engine.evicts_by_device[d]
+
+    tmap = fabric.tenant_map
+    if tmap is not None:
+        # Per-security-domain rollups, extending the ``dev<i>`` taxonomy:
+        # each tenant owns a disjoint SM group and channel run, so its
+        # instruction and device-traffic tallies are exact attributions.
+        for t in range(tmap.num_tenants):
+            sm_lo = tmap.sm_base(t)
+            tree[f"tenant{t}.instructions"] = sum(
+                sm.instructions
+                for sm in sim.sms[sm_lo : sm_lo + tmap.sms_per_tenant]
+            )
+            device_bytes = 0
+            security_bytes = 0
+            for c in tmap.channels_of(t):
+                for category, (nbytes, _) in fabric.channels[
+                    c
+                ].category_tallies.items():
+                    device_bytes += nbytes
+                    if category.is_security:
+                        security_bytes += nbytes
+            tree[f"tenant{t}.device_bytes"] = device_bytes
+            tree[f"tenant{t}.security_bytes"] = security_bytes
+            tree[f"tenant{t}.fills"] = sim._tenant_fills[t]
+            tree[f"tenant{t}.evictions"] = sim._tenant_evicts[t]
 
     tree["sim.instructions"] = sim.stats.instructions
     tree["sim.final_cycle"] = sim.stats.final_cycle

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, List, Tuple
 
 from ..address import DEFAULT_GEOMETRY, Geometry
@@ -180,6 +180,98 @@ def generate_trace(
     return Trace(
         name=spec.name,
         footprint_pages=spec.footprint_pages,
+        compute_per_mem=spec.compute_per_mem,
+        requests=requests,
+    )
+
+
+#: Multi-tenant interleave shapes. ``mirror`` runs the same spec in every
+#: tenant's page span; ``noisy`` keeps tenant 0 on the real spec and turns
+#: every other tenant into a streaming low-reuse hammer that constantly
+#: migrates pages, saturating whatever fabric resources are shared.
+TENANT_MIXES = ("mirror", "noisy")
+
+
+def _hammer_spec(spec: WorkloadSpec) -> WorkloadSpec:
+    """The noisy-neighbor personality: full-coverage streaming, no reuse.
+
+    Every page visit touches all chunks once and moves on, so the page
+    cache churns at maximum rate - each visit is a fill plus a dirty
+    eviction crossing the CXL link. This is the adversarial co-tenant the
+    isolation sweep measures against.
+    """
+    return replace(
+        spec,
+        name=f"{spec.name}-hammer",
+        chunk_coverage=1.0,
+        concurrent_pages=32,
+        write_fraction=0.5,
+        sectors_per_chunk_touched=16,
+        reuse=1,
+        compute_per_mem=0,
+        page_order="stream",
+    )
+
+
+def generate_multi_tenant_trace(
+    spec: WorkloadSpec,
+    n_accesses: int,
+    num_tenants: int,
+    seed: int = 7,
+    num_sms: int = 16,
+    geometry: Geometry = DEFAULT_GEOMETRY,
+    mix: str = "mirror",
+) -> Trace:
+    """Interleave ``num_tenants`` independent request streams round-robin.
+
+    Tenant ``t`` owns pages ``[t * spec.footprint_pages, (t + 1) *
+    spec.footprint_pages)`` - exactly the page span a
+    :class:`~repro.address.TenantMap` over the combined footprint assigns
+    it - so the trace passes kernel isolation enforcement by construction.
+    Each tenant's stream is generated with its own derived seed; ``mix``
+    selects the co-tenant personalities (see :data:`TENANT_MIXES`).
+    """
+    if num_tenants <= 0:
+        raise TraceError("num_tenants must be positive")
+    if mix not in TENANT_MIXES:
+        raise TraceError(f"mix must be one of {TENANT_MIXES}")
+    if n_accesses < num_tenants:
+        raise TraceError("n_accesses must be at least num_tenants")
+    base_pages = spec.footprint_pages
+    base_bytes = base_pages * geometry.page_bytes
+    share = n_accesses // num_tenants
+    remainder = n_accesses % num_tenants
+    streams: List[List[MemoryRequest]] = []
+    for t in range(num_tenants):
+        tenant_spec = spec if (mix == "mirror" or t == 0) else _hammer_spec(spec)
+        count = share + (1 if t < remainder else 0)
+        sub = generate_trace(
+            tenant_spec, count, seed=seed + 1_000_003 * t,
+            num_sms=num_sms, geometry=geometry,
+        )
+        streams.append(sub.requests)
+
+    requests: List[MemoryRequest] = []
+    cursors = [0] * num_tenants
+    t = 0
+    while len(requests) < n_accesses:
+        if cursors[t] < len(streams[t]):
+            r = streams[t][cursors[t]]
+            cursors[t] += 1
+            requests.append(
+                MemoryRequest(
+                    cxl_addr=r.cxl_addr + t * base_bytes,
+                    access=r.access,
+                    sm=r.sm,
+                    warp=r.warp,
+                    tenant=t,
+                )
+            )
+        t = (t + 1) % num_tenants
+    suffix = f"x{num_tenants}" + ("-noisy" if mix == "noisy" else "")
+    return Trace(
+        name=spec.name + suffix,
+        footprint_pages=base_pages * num_tenants,
         compute_per_mem=spec.compute_per_mem,
         requests=requests,
     )

@@ -31,7 +31,7 @@ from typing import Dict, Tuple
 
 from ..address import DEFAULT_GEOMETRY, Geometry
 from ..errors import TraceError
-from .generators import WorkloadSpec, generate_trace
+from .generators import WorkloadSpec, generate_multi_tenant_trace, generate_trace
 from .trace import Trace
 
 BENCHMARKS: Dict[str, WorkloadSpec] = {
@@ -140,11 +140,16 @@ def build_trace(
     num_sms: int = 16,
     geometry: Geometry = DEFAULT_GEOMETRY,
     scale: float = 1.0,
+    tenants: int = 1,
+    tenant_mix: str = "mirror",
 ) -> Trace:
     """Build the named benchmark's trace.
 
     ``scale`` proportionally shrinks/grows both the footprint and the access
-    count - tests use ``scale=0.1`` for sub-second runs.
+    count - tests use ``scale=0.1`` for sub-second runs. ``tenants > 1``
+    interleaves that many per-tenant streams (one per security domain, each
+    confined to its own page span; ``tenant_mix`` picks the co-tenant
+    personalities - see :data:`~repro.workloads.generators.TENANT_MIXES`).
     """
     spec = spec_for(name)
     if scale != 1.0:
@@ -157,6 +162,11 @@ def build_trace(
             }
         )
         n_accesses = max(500, int(n_accesses * scale))
+    if tenants > 1:
+        return generate_multi_tenant_trace(
+            spec, n_accesses=n_accesses, num_tenants=tenants, seed=seed,
+            num_sms=num_sms, geometry=geometry, mix=tenant_mix,
+        )
     return generate_trace(
         spec, n_accesses=n_accesses, seed=seed, num_sms=num_sms, geometry=geometry
     )

@@ -40,10 +40,10 @@ class DenseTrace:
     """
 
     __slots__ = ("name", "footprint_pages", "compute_per_mem",
-                 "addrs", "is_write", "sm_id", "warp", "ts")
+                 "addrs", "is_write", "sm_id", "warp", "ts", "tenant")
 
     def __init__(self, name, footprint_pages, compute_per_mem,
-                 addrs, is_write, sm_id, warp, ts) -> None:
+                 addrs, is_write, sm_id, warp, ts, tenant=None) -> None:
         self.name = name
         self.footprint_pages = footprint_pages
         self.compute_per_mem = compute_per_mem
@@ -52,6 +52,9 @@ class DenseTrace:
         self.sm_id = sm_id
         self.warp = warp
         self.ts = ts
+        if tenant is None:
+            tenant = require_numpy().zeros_like(addrs)
+        self.tenant = tenant
 
     def __len__(self) -> int:
         return int(self.addrs.shape[0])
@@ -73,8 +76,9 @@ class DenseTrace:
         sm_id = np.fromiter((r.sm for r in requests), dtype=np.int64, count=n)
         warp = np.fromiter((r.warp for r in requests), dtype=np.int64, count=n)
         ts = np.arange(n, dtype=np.int64)
+        tenant = np.fromiter((r.tenant for r in requests), dtype=np.int64, count=n)
         return cls(name, footprint_pages, compute_per_mem,
-                   addrs, is_write, sm_id, warp, ts)
+                   addrs, is_write, sm_id, warp, ts, tenant)
 
     def epoch_bounds(self, epoch_size: int):
         """Yield ``(start, stop)`` index pairs covering the stream."""
@@ -171,11 +175,19 @@ class Trace:
             rec["sm"] = d.sm_id.astype("<u4")
             rec["warp"] = d.warp.astype("<u4")
             digest.update(rec.tobytes())
+            # Tenant ids join the hash only when the trace actually uses
+            # them, so every pre-tenancy trace keeps its recorded
+            # fingerprint byte for byte.
+            if d.tenant.any():
+                digest.update(d.tenant.astype("<u4").tobytes())
             return digest.hexdigest()
         for req in self.requests:
             digest.update(
                 struct.pack("<QBII", req.cxl_addr, 1 if req.is_write else 0, req.sm, req.warp)
             )
+        if any(req.tenant for req in self.requests):
+            for req in self.requests:
+                digest.update(struct.pack("<I", req.tenant))
         return digest.hexdigest()
 
     def head(self, n: int) -> "Trace":
